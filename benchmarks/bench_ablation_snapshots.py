@@ -1,0 +1,50 @@
+"""Ablation: snapshot fast-forward vs. naive re-execution in campaigns.
+
+DESIGN.md calls this design choice out: executing experiments in
+ascending injection-slot order and forking the pristine machine from
+snapshots turns the pre-injection cost from O(experiments × Δt) into
+O(Δt).  This benchmark measures both paths on the same campaign.
+"""
+
+import pytest
+
+from repro.campaign import (
+    ExperimentExecutor,
+    record_golden,
+    run_full_scan,
+)
+from repro.programs import micro
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return record_golden(micro.memcopy(12))
+
+
+@pytest.fixture(scope="module")
+def partition(golden):
+    return golden.partition()
+
+
+def _scan(golden, partition, use_snapshots):
+    executor = ExperimentExecutor(golden, use_snapshots=use_snapshots)
+    return run_full_scan(golden, partition=partition, executor=executor)
+
+
+def test_ablation_snapshot_fast_forward(benchmark, golden, partition):
+    result = benchmark.pedantic(
+        lambda: _scan(golden, partition, True), rounds=3, iterations=1)
+    assert result.experiments_conducted == partition.experiment_count
+
+
+def test_ablation_naive_reexecution(benchmark, golden, partition):
+    result = benchmark.pedantic(
+        lambda: _scan(golden, partition, False), rounds=3, iterations=1)
+    assert result.experiments_conducted == partition.experiment_count
+
+
+def test_ablation_paths_agree_exactly(benchmark, golden, partition):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fast = _scan(golden, partition, True)
+    slow = _scan(golden, partition, False)
+    assert fast.class_outcomes == slow.class_outcomes

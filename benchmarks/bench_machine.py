@@ -1,0 +1,67 @@
+"""Substrate microbenchmarks: interpreter, snapshots, assembler.
+
+Not a paper figure — these measure the simulator substrate itself so
+performance regressions in the machine show up independently of the
+campaign-level benchmarks.
+"""
+
+from repro.campaign import record_golden
+from repro.isa import Assembler, Machine, assemble
+from repro.programs import micro, sync2
+
+LOOP_SOURCE = """
+        .data
+v:      .word 0
+        .text
+start:  li   r3, 2000
+loop:   lw   r1, v(zero)
+        addi r1, r1, 1
+        sw   r1, v(zero)
+        addi r3, r3, -1
+        bnez r3, loop
+        halt
+"""
+
+
+def test_interpreter_throughput(benchmark):
+    program = assemble(LOOP_SOURCE, ram_size=4)
+
+    def run():
+        machine = Machine(program)
+        machine.run(100_000)
+        return machine.cycle
+
+    cycles = benchmark(run)
+    assert cycles == 2 + 5 * 2000
+
+
+def test_snapshot_restore_cost(benchmark):
+    machine = Machine(micro.memcopy(16))
+    machine.run_to_cycle(20)
+    state = machine.snapshot()
+
+    def roundtrip():
+        machine.restore(state)
+        return machine.cycle
+
+    assert benchmark(roundtrip) == 20
+
+
+def test_assembler_throughput(benchmark):
+    source = sync2.baseline().source
+
+    def assemble_it():
+        return Assembler(ram_size=4096).assemble(source)
+
+    program = benchmark(assemble_it)
+    assert program.rom_size > 100
+
+
+def test_golden_trace_overhead(benchmark):
+    """Tracing overhead relative to the raw interpreter run."""
+    program = micro.checksum_loop(8)
+
+    def traced():
+        return record_golden(program).cycles
+
+    assert benchmark(traced) > 0

@@ -1,0 +1,139 @@
+"""Data generators for every table and figure of the paper.
+
+Each ``figN_data``/``tableN_data`` function returns plain dictionaries /
+rows so the benchmark harness, the examples and the tests can all share
+one implementation.  Rendering is plain text (:mod:`repro.analysis.report`)
+— the reproduction reports the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..campaign.database import CampaignSummary
+from ..campaign.golden import GoldenRun
+from ..faultspace.defuse import DefUsePartition, LIVE
+from ..faultspace.model import FaultCoordinate
+from ..metrics.comparison import comparison_report
+from ..metrics.coverage import unweighted_coverage, weighted_coverage
+from ..metrics.failure_counts import (
+    unweighted_failure_count,
+    weighted_failure_count,
+)
+from ..metrics.poisson import paper_table1_model
+
+
+def table1_data(max_k: int = 5) -> list[dict]:
+    """Table I: Poisson probabilities for k faults hitting one run."""
+    model = paper_table1_model()
+    return [{"k": k, "probability": p}
+            for k, p in model.table_rows(max_k)]
+
+
+def fig1_data(golden: GoldenRun,
+              partition: DefUsePartition | None = None) -> dict:
+    """Figure 1: fault-space size vs. def/use-pruned experiment count."""
+    if partition is None:
+        partition = golden.partition()
+    return {
+        "program": golden.program.name,
+        "cycles": golden.cycles,
+        "memory_bits": golden.fault_space.memory_bits,
+        "fault_space_size": golden.fault_space.size,
+        "experiments": partition.experiment_count,
+        "known_no_effect_weight": partition.known_no_effect_weight,
+        "reduction_factor": partition.reduction_factor(),
+    }
+
+
+@dataclass(frozen=True)
+class Fig2Series:
+    """One benchmark variant's bars across all Figure 2 panels."""
+
+    variant: str
+    coverage_unweighted: float   # panel (a)
+    coverage_weighted: float     # panel (b)
+    failures_unweighted: float   # panel (d)
+    failures_weighted: float     # panel (e)
+    runtime_cycles: int          # panel (g)
+    memory_bytes: int            # panel (g)
+
+    @classmethod
+    def from_summary(cls, summary: CampaignSummary) -> "Fig2Series":
+        return cls(
+            variant=summary.program_name,
+            coverage_unweighted=unweighted_coverage(summary),
+            coverage_weighted=weighted_coverage(summary),
+            failures_unweighted=unweighted_failure_count(summary).total,
+            failures_weighted=weighted_failure_count(summary).total,
+            runtime_cycles=summary.cycles,
+            memory_bytes=summary.ram_bytes,
+        )
+
+
+def fig2_data(summaries: dict[str, CampaignSummary]) -> list[Fig2Series]:
+    """Figure 2 panels (a), (b), (d), (e), (g) for the given variants."""
+    return [Fig2Series.from_summary(summary)
+            for summary in summaries.values()]
+
+
+def fig2_verdicts(baseline: CampaignSummary,
+                  hardened: CampaignSummary, name: str) -> dict:
+    """The design-decision story of Figure 2: per-metric verdicts and the
+    sound comparison ratio."""
+    report = comparison_report(name, baseline, hardened)
+    return {
+        "benchmark": name,
+        "ratio": report.ratio,
+        "unweighted_ratio": report.unweighted_ratio,
+        "coverage_delta_weighted_pp": report.coverage_delta_weighted,
+        "coverage_delta_unweighted_pp": report.coverage_delta_unweighted,
+        "verdicts": report.verdicts(),
+        "misleading_metrics": report.misleading_metrics(),
+    }
+
+
+def fig3_data(scans: dict[str, CampaignSummary]) -> list[dict]:
+    """Figure 3 / Section IV: the dilution-delusion table."""
+    rows = []
+    for name, summary in scans.items():
+        rows.append({
+            "variant": name,
+            "cycles": summary.cycles,
+            "memory_bits": summary.ram_bytes * 8,
+            "fault_space_size": summary.fault_space_size,
+            "coverage": weighted_coverage(summary),
+            "failures": weighted_failure_count(summary).total,
+        })
+    return rows
+
+
+def render_fault_space(golden: GoldenRun, *, max_cycles: int = 64,
+                       max_bytes: int = 8) -> str:
+    """ASCII rendering of a (small) fault space, à la Figure 1/3.
+
+    One row per memory byte (all eight bits share the byte's def/use
+    structure), one column per cycle: ``W``/``R`` mark accesses, ``#``
+    live coordinates (an experiment class covers them), ``.`` dead
+    coordinates known a priori to be "No Effect".
+    """
+    partition = golden.partition()
+    cycles = min(golden.cycles, max_cycles)
+    ram_bytes = min(golden.program.ram_size, max_bytes)
+    lines = [
+        "cycle     " + "".join(f"{c % 10}" for c in range(1, cycles + 1))]
+    for addr in range(ram_bytes):
+        cells = []
+        access = {e.slot: e for e in golden.trace.accesses(addr)}
+        for slot in range(1, cycles + 1):
+            if slot in access:
+                cells.append("W" if access[slot].is_write else "R")
+            else:
+                interval = partition.locate(
+                    FaultCoordinate(slot=slot, addr=addr, bit=0))
+                cells.append("#" if interval.kind == LIVE else ".")
+        lines.append(f"byte {addr:4d} " + "".join(cells))
+    if golden.cycles > max_cycles or golden.program.ram_size > max_bytes:
+        lines.append(f"(truncated to {max_cycles} cycles x "
+                     f"{max_bytes} bytes)")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Fault-injection campaign engine (the FAIL*-equivalent substrate)."""
+
+from .database import (
+    CampaignCache,
+    CampaignSummary,
+    export_class_results_csv,
+    import_class_results_csv,
+    program_fingerprint,
+)
+from .experiment import (
+    DEFAULT_TIMEOUT_FACTOR,
+    DEFAULT_TIMEOUT_SLACK,
+    ExperimentExecutor,
+    ExperimentRecord,
+)
+from .golden import (
+    DEFAULT_GOLDEN_CYCLE_LIMIT,
+    GoldenRun,
+    GoldenRunError,
+    record_golden,
+)
+from .outcomes import (
+    BENIGN_OUTCOMES,
+    CORRECTED_CODE,
+    FAILURE_OUTCOMES,
+    Outcome,
+    PANIC_CODE,
+    classify,
+)
+from .registers import (
+    RegisterCampaignResult,
+    RegisterExperimentExecutor,
+    collect_pc_trace,
+    register_partition,
+    run_register_brute_force,
+    run_register_scan,
+)
+from .runner import (
+    BruteForceResult,
+    CampaignResult,
+    SAMPLERS,
+    SamplingResult,
+    run_brute_force,
+    run_full_scan,
+    run_sampling,
+)
+
+__all__ = [
+    "BENIGN_OUTCOMES",
+    "BruteForceResult",
+    "CORRECTED_CODE",
+    "CampaignCache",
+    "CampaignResult",
+    "CampaignSummary",
+    "DEFAULT_GOLDEN_CYCLE_LIMIT",
+    "DEFAULT_TIMEOUT_FACTOR",
+    "DEFAULT_TIMEOUT_SLACK",
+    "ExperimentExecutor",
+    "ExperimentRecord",
+    "FAILURE_OUTCOMES",
+    "GoldenRun",
+    "GoldenRunError",
+    "Outcome",
+    "PANIC_CODE",
+    "RegisterCampaignResult",
+    "RegisterExperimentExecutor",
+    "SAMPLERS",
+    "collect_pc_trace",
+    "register_partition",
+    "run_register_brute_force",
+    "run_register_scan",
+    "SamplingResult",
+    "classify",
+    "export_class_results_csv",
+    "import_class_results_csv",
+    "program_fingerprint",
+    "record_golden",
+    "run_brute_force",
+    "run_full_scan",
+    "run_sampling",
+]

@@ -1,0 +1,146 @@
+"""Persistence for campaign results.
+
+Stores campaign summaries and per-class results as JSON/CSV.  The cache
+keyed by program content lets the benchmark harness regenerate every
+figure without re-running campaigns that have not changed — the same
+role FAIL*'s experiment database plays in the original toolchain.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..isa.assembler import Program
+from .outcomes import Outcome
+from .runner import CampaignResult
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Everything the metrics layer needs from a full-scan campaign."""
+
+    program_name: str
+    cycles: int
+    ram_bytes: int
+    fault_space_size: int
+    experiments: int
+    weighted_counts: dict[str, int]
+    raw_counts: dict[str, int]
+    known_no_effect_weight: int
+
+    @classmethod
+    def from_result(cls, result: CampaignResult) -> "CampaignSummary":
+        golden = result.golden
+        return cls(
+            program_name=golden.program.name,
+            cycles=golden.cycles,
+            ram_bytes=golden.program.ram_size,
+            fault_space_size=result.fault_space_size,
+            experiments=result.experiments_conducted,
+            weighted_counts={o.value: n for o, n in
+                             result.weighted_counts().items()},
+            raw_counts={o.value: n for o, n in result.raw_counts().items()},
+            known_no_effect_weight=result.partition.known_no_effect_weight,
+        )
+
+    def weighted(self) -> dict[Outcome, int]:
+        return {Outcome(k): v for k, v in self.weighted_counts.items()}
+
+    def raw(self) -> dict[Outcome, int]:
+        return {Outcome(k): v for k, v in self.raw_counts.items()}
+
+    def to_json(self) -> str:
+        return json.dumps(self.__dict__, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSummary":
+        return cls(**json.loads(text))
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash identifying a program variant for caching."""
+    digest = hashlib.sha256()
+    digest.update(program.name.encode())
+    digest.update(str(program.ram_size).encode())
+    digest.update(program.source.encode())
+    digest.update(program.data)
+    for instr in program.rom:
+        digest.update(
+            f"{instr.op}|{instr.rd}|{instr.rs1}|{instr.rs2}|{instr.imm}"
+            .encode())
+    return digest.hexdigest()[:24]
+
+
+class CampaignCache:
+    """A directory of :class:`CampaignSummary` JSON files keyed by program.
+
+    ``get_or_run`` is the main entry point: it returns the cached summary
+    when the program (source, data, ROM, RAM size) is unchanged, and
+    otherwise invokes the supplied campaign thunk and stores its summary.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, program: Program) -> Path:
+        return self.directory / (
+            f"{program.name}-{program_fingerprint(program)}.json")
+
+    def load(self, program: Program) -> CampaignSummary | None:
+        path = self._path(program)
+        if not path.exists():
+            return None
+        try:
+            return CampaignSummary.from_json(path.read_text())
+        except (json.JSONDecodeError, TypeError):
+            return None  # stale or corrupt cache entry; recompute
+
+    def store(self, program: Program, summary: CampaignSummary) -> None:
+        self._path(program).write_text(summary.to_json())
+
+    def get_or_run(self, program: Program, thunk) -> CampaignSummary:
+        """Return the cached summary or run ``thunk() -> CampaignResult``."""
+        cached = self.load(program)
+        if cached is not None:
+            return cached
+        summary = CampaignSummary.from_result(thunk())
+        self.store(program, summary)
+        return summary
+
+
+def export_class_results_csv(result: CampaignResult,
+                             path: str | Path) -> None:
+    """Write per-class experiment results to a CSV file.
+
+    Columns: byte address, interval bounds, lifetime weight, and the
+    eight per-bit outcomes.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["addr", "first_slot", "last_slot", "length"]
+                        + [f"bit{b}" for b in range(8)])
+        for interval, outcomes in result.class_records():
+            writer.writerow(
+                [interval.addr, interval.first_slot, interval.last_slot,
+                 interval.length] + [o.value for o in outcomes])
+
+
+def import_class_results_csv(path: str | Path) -> list[dict]:
+    """Read back a CSV produced by :func:`export_class_results_csv`."""
+    rows = []
+    with open(path, newline="") as handle:
+        for row in csv.DictReader(handle):
+            rows.append({
+                "addr": int(row["addr"]),
+                "first_slot": int(row["first_slot"]),
+                "last_slot": int(row["last_slot"]),
+                "length": int(row["length"]),
+                "outcomes": tuple(Outcome(row[f"bit{b}"])
+                                  for b in range(8)),
+            })
+    return rows

@@ -1,0 +1,144 @@
+"""Single fault-injection experiment execution.
+
+One experiment (Section III-B): run the benchmark from the beginning
+until the injection slot, pause, flip the bit, resume, observe.
+
+:class:`ExperimentExecutor` keeps a *pristine* machine that is advanced
+monotonically through the golden instruction stream and forked (via
+snapshots) at each injection slot.  When experiments are executed in
+ascending slot order — the runner guarantees this — every pre-injection
+instruction is executed exactly once across the whole campaign instead
+of once per experiment, which turns the full-scan cost from
+O(experiments × Δt) into O(Δt + Σ post-injection cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faultspace.model import FaultCoordinate
+from ..isa.cpu import Machine, MachineState
+from ..isa.errors import CPUException
+from .golden import GoldenRun
+from .outcomes import Outcome, PANIC_CODE, classify
+
+
+def _classify_diverged(detections: tuple[tuple[int, int], ...]) -> Outcome:
+    """Failure mode for a run stopped at its first wrong output byte."""
+    if any(code >= PANIC_CODE for _, code in detections):
+        return Outcome.DETECTED_FAIL_STOP
+    if detections:
+        return Outcome.DETECTED_UNCORRECTED
+    return Outcome.SDC
+
+#: Default multiple of the golden runtime before declaring a timeout.
+DEFAULT_TIMEOUT_FACTOR = 3.0
+#: Minimum extra cycles granted beyond the golden runtime.
+DEFAULT_TIMEOUT_SLACK = 256
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """The result of one fault-injection experiment."""
+
+    coordinate: FaultCoordinate
+    outcome: Outcome
+    #: Cycle count when the run ended (halt, trap, or timeout).
+    end_cycle: int
+    #: Trap name if the run ended in a CPU exception, else "".
+    trap: str = ""
+
+
+class ExperimentExecutor:
+    """Executes experiments against one golden run.
+
+    Not thread-safe; create one executor per worker.  Experiments may be
+    submitted in any order, but ascending injection-slot order enables
+    the snapshot fast-forward optimization (out-of-order slots force a
+    rewind, i.e. a fresh re-run of the pre-injection prefix).
+    """
+
+    def __init__(self, golden: GoldenRun, *,
+                 timeout_factor: float = DEFAULT_TIMEOUT_FACTOR,
+                 timeout_slack: int = DEFAULT_TIMEOUT_SLACK,
+                 use_snapshots: bool = True,
+                 early_stop: bool = True):
+        if timeout_factor < 1.0:
+            raise ValueError("timeout_factor must be >= 1.0")
+        self.golden = golden
+        self.timeout_cycles = max(
+            int(golden.cycles * timeout_factor),
+            golden.cycles + timeout_slack)
+        self.use_snapshots = use_snapshots
+        self.early_stop = early_stop
+        oracle = golden.output if early_stop else None
+        self._machine = Machine(golden.program, oracle=oracle)
+        self._pristine = Machine(golden.program)
+        self._snapshot: MachineState | None = None
+        #: Number of pre-injection rewinds (diagnostics for the ablation
+        #: benchmark; stays 0 when experiments arrive slot-sorted).
+        self.rewinds = 0
+
+    def run(self, coordinate: FaultCoordinate) -> ExperimentRecord:
+        """Run one experiment and classify its outcome."""
+        if coordinate.slot > self.golden.cycles:
+            raise ValueError(
+                f"slot {coordinate.slot} beyond golden runtime "
+                f"{self.golden.cycles}")
+        machine = self._machine
+        if self.use_snapshots:
+            machine.restore(self._state_at(coordinate.slot - 1))
+        else:
+            machine.reset()
+            machine.run_to_cycle(coordinate.slot - 1)
+        self._inject(machine, coordinate)
+
+        trap = ""
+        try:
+            machine.run(self.timeout_cycles)
+        except CPUException as exc:
+            trap = exc.trap_name
+        trapped = bool(trap)
+        timed_out = not machine.halted and not trapped
+        if machine.diverged:
+            # Early stop on first deviating output byte: the run can
+            # never be benign again, so it is a failure; attribute the
+            # mode from what was observed up to the divergence.
+            outcome = _classify_diverged(tuple(machine.detections))
+        else:
+            outcome = classify(
+                golden_output=self.golden.output,
+                output=bytes(machine.serial),
+                halted_cleanly=machine.halted and not trapped,
+                trapped=trapped,
+                timed_out=timed_out,
+                detections=tuple(machine.detections),
+            )
+        return ExperimentRecord(coordinate=coordinate, outcome=outcome,
+                                end_cycle=machine.cycle, trap=trap)
+
+    def _inject(self, machine: Machine, coordinate) -> None:
+        """Apply the fault at the current pause point.
+
+        The base executor flips a RAM bit; subclasses may target other
+        machine state (e.g. the register file for the Section VI-B
+        generalization).
+        """
+        machine.flip_bit(coordinate.addr, coordinate.bit)
+
+    # -- snapshot fast-forward -------------------------------------------------
+
+    def _state_at(self, cycle: int) -> MachineState:
+        """Pristine machine state after exactly ``cycle`` instructions."""
+        if self._snapshot is not None and self._snapshot.cycle == cycle:
+            return self._snapshot
+        if cycle < self._pristine.cycle:
+            self.rewinds += 1
+            self._pristine.reset()
+        self._pristine.run_to_cycle(cycle)
+        if self._pristine.cycle != cycle:
+            raise AssertionError(
+                f"golden prefix halted at {self._pristine.cycle}, "
+                f"wanted {cycle}")  # pragma: no cover
+        self._snapshot = self._pristine.snapshot()
+        return self._snapshot

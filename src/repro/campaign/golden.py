@@ -1,0 +1,80 @@
+"""Golden-run recording.
+
+A golden run executes the benchmark once, fault-free, with memory
+tracing enabled.  It establishes:
+
+* the correct serial output (the failure oracle),
+* the runtime Δt in cycles and thus the fault space together with the
+  program's RAM footprint Δm,
+* the memory-access trace feeding def/use pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faultspace.defuse import DefUsePartition
+from ..faultspace.model import FaultSpace
+from ..isa.assembler import Program
+from ..isa.cpu import Machine
+from ..isa.errors import CPUException
+from ..isa.tracing import MemoryTrace
+
+#: Safety cap for golden runs of programs that fail to terminate.
+DEFAULT_GOLDEN_CYCLE_LIMIT = 5_000_000
+
+
+class GoldenRunError(RuntimeError):
+    """The fault-free run misbehaved (trap, timeout, or detections)."""
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """The reference execution of one benchmark variant."""
+
+    program: Program
+    output: bytes
+    cycles: int
+    trace: MemoryTrace
+
+    @property
+    def fault_space(self) -> FaultSpace:
+        """The Δt × Δm fault space this run spans."""
+        return FaultSpace(cycles=self.cycles,
+                          ram_bytes=self.program.ram_size)
+
+    def partition(self) -> DefUsePartition:
+        """Def/use-prune the fault space (validated before returning)."""
+        partition = DefUsePartition.from_trace(self.trace, self.fault_space)
+        partition.validate()
+        return partition
+
+
+def record_golden(program: Program, *,
+                  cycle_limit: int = DEFAULT_GOLDEN_CYCLE_LIMIT) -> GoldenRun:
+    """Run ``program`` fault-free and record its golden run.
+
+    Raises :class:`GoldenRunError` if the fault-free run traps, exceeds
+    ``cycle_limit``, or emits ``detect`` events (a hardened benchmark
+    whose checker fires without faults is broken).
+    """
+    tracer = MemoryTrace()
+    machine = Machine(program, tracer=tracer)
+    try:
+        machine.run(cycle_limit)
+    except CPUException as exc:
+        raise GoldenRunError(
+            f"golden run of {program.name!r} trapped: {exc}") from exc
+    if not machine.halted:
+        raise GoldenRunError(
+            f"golden run of {program.name!r} exceeded {cycle_limit} cycles")
+    if machine.detections:
+        raise GoldenRunError(
+            f"golden run of {program.name!r} reported fault detections "
+            f"{machine.detections[:3]}... without any injected fault")
+    if machine.cycle == 0:
+        raise GoldenRunError(
+            f"golden run of {program.name!r} executed no instructions")
+    tracer.finish(machine.cycle)
+    return GoldenRun(program=program, output=bytes(machine.serial),
+                     cycles=machine.cycle, trace=tracer)

@@ -1,0 +1,137 @@
+"""Register-file fault-injection campaigns (Section VI-B generalization).
+
+Mirrors the memory campaigns: a def/use-pruned full scan over the
+register fault space, plus a brute-force scan as test ground truth.
+All metrics (weighted counts, coverage, failure counts) carry over —
+the point of Section VI-B is that the pitfalls and their avoidance are
+not specific to the memory fault model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..faultspace.registers import (
+    LIVE,
+    RegisterFaultCoordinate,
+    RegisterFaultSpace,
+    RegisterInterval,
+    RegisterPartition,
+)
+from ..isa.cpu import Machine
+from .experiment import ExperimentExecutor, ExperimentRecord
+from .golden import GoldenRun
+from .outcomes import Outcome
+
+
+def collect_pc_trace(golden: GoldenRun) -> list[int]:
+    """Replay the golden run and record the executed ROM index per slot."""
+    machine = Machine(golden.program)
+    pcs: list[int] = []
+    while not machine.halted:
+        pc = machine.pc
+        before = machine.cycle
+        machine.step()
+        if machine.cycle > before:
+            pcs.append(pc)
+    if len(pcs) != golden.cycles:  # pragma: no cover - consistency check
+        raise AssertionError(
+            f"pc trace length {len(pcs)} != golden cycles {golden.cycles}")
+    return pcs
+
+
+def register_partition(golden: GoldenRun) -> RegisterPartition:
+    """Def/use-prune the register fault space of a golden run."""
+    partition = RegisterPartition.from_pc_trace(
+        golden.program.rom, collect_pc_trace(golden))
+    partition.validate()
+    return partition
+
+
+class RegisterExperimentExecutor(ExperimentExecutor):
+    """Experiment executor that injects into the register file."""
+
+    def run(self, coordinate) -> ExperimentRecord:
+        if not isinstance(coordinate, RegisterFaultCoordinate):
+            raise TypeError(
+                "RegisterExperimentExecutor needs register coordinates")
+        return super().run(coordinate)
+
+    def _inject(self, machine: Machine, coordinate) -> None:
+        machine.flip_register_bit(coordinate.reg, coordinate.bit)
+
+
+@dataclass
+class RegisterCampaignResult:
+    """Outcome of a def/use-pruned register fault-space scan."""
+
+    golden: GoldenRun
+    partition: RegisterPartition
+    class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]]
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    @property
+    def fault_space(self) -> RegisterFaultSpace:
+        return self.partition.fault_space
+
+    @property
+    def fault_space_size(self) -> int:
+        return self.fault_space.size
+
+    @property
+    def experiments_conducted(self) -> int:
+        return 32 * len(self.class_outcomes)
+
+    def outcome_of(self, coordinate: RegisterFaultCoordinate) -> Outcome:
+        interval = self.partition.locate(coordinate)
+        if interval.kind != LIVE:
+            return Outcome.NO_EFFECT
+        key = (interval.reg, interval.first_slot)
+        return self.class_outcomes[key][coordinate.bit]
+
+    def weighted_counts(self) -> Counter:
+        counts: Counter = Counter()
+        for interval in self.partition.live_classes():
+            outcomes = self.class_outcomes[(interval.reg,
+                                            interval.first_slot)]
+            for outcome in outcomes:
+                counts[outcome] += interval.length
+        counts[Outcome.NO_EFFECT] += self.partition.known_no_effect_weight
+        return counts
+
+    def weighted_failure_count(self) -> int:
+        return sum(count for outcome, count in self.weighted_counts()
+                   .items() if outcome.is_failure)
+
+    def weighted_coverage(self) -> float:
+        return 1.0 - self.weighted_failure_count() / self.fault_space_size
+
+
+def run_register_scan(golden: GoldenRun, *,
+                      partition: RegisterPartition | None = None,
+                      executor: RegisterExperimentExecutor | None = None
+                      ) -> RegisterCampaignResult:
+    """Def/use-pruned full scan over the register fault space."""
+    if partition is None:
+        partition = register_partition(golden)
+    if executor is None:
+        executor = RegisterExperimentExecutor(golden)
+    class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
+    for interval in partition.live_classes():
+        outcomes = tuple(executor.run(coord).outcome
+                         for coord in interval.experiments())
+        class_outcomes[(interval.reg, interval.first_slot)] = outcomes
+    return RegisterCampaignResult(golden=golden, partition=partition,
+                                  class_outcomes=class_outcomes)
+
+
+def run_register_brute_force(golden: GoldenRun) -> dict:
+    """One real experiment per register fault-space coordinate.
+
+    Test ground truth only — 480 experiments per cycle.
+    """
+    executor = RegisterExperimentExecutor(golden)
+    space = RegisterFaultSpace(cycles=golden.cycles)
+    return {coord: executor.run(coord).outcome
+            for coord in space.iter_coordinates()}

@@ -1,0 +1,255 @@
+"""Campaign runners: full fault-space scans and sampling campaigns.
+
+Three campaign styles are provided:
+
+* :func:`run_full_scan` — the def/use-pruned full fault-space scan: one
+  experiment per live equivalence class and bit, dead classes accounted
+  as known "No Effect".  Exact and feasible (Section III-C).
+* :func:`run_brute_force` — one real experiment per raw fault-space
+  coordinate.  Exponentially more work; exists as ground truth for tests
+  proving that pruning does not change any result.
+* :func:`run_sampling` — a sampled campaign with a pluggable sampler
+  (raw-uniform, live-only, or the deliberately biased class sampler for
+  Pitfall 2 demonstrations).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..faultspace.defuse import ByteInterval, DefUsePartition, LIVE
+from ..faultspace.model import FaultCoordinate
+from ..faultspace.sampling import (
+    BiasedClassSampler,
+    LiveOnlySampler,
+    Sample,
+    UniformSampler,
+)
+from .experiment import ExperimentExecutor, ExperimentRecord
+from .golden import GoldenRun
+from .outcomes import Outcome
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a def/use-pruned full fault-space scan.
+
+    ``class_outcomes`` maps each live class key ``(addr, first_slot)`` to
+    the 8 per-bit outcomes of its representative experiments.
+    """
+
+    golden: GoldenRun
+    partition: DefUsePartition
+    class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]]
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    @property
+    def fault_space_size(self) -> int:
+        """w = Δt · Δm."""
+        return self.golden.fault_space.size
+
+    @property
+    def experiments_conducted(self) -> int:
+        return 8 * len(self.class_outcomes)
+
+    def outcome_of(self, coordinate: FaultCoordinate) -> Outcome:
+        """The outcome of any raw coordinate, resolved via its class."""
+        interval = self.partition.locate(coordinate)
+        if interval.kind != LIVE:
+            return Outcome.NO_EFFECT
+        key = (interval.addr, interval.first_slot)
+        return self.class_outcomes[key][coordinate.bit]
+
+    def weighted_counts(self) -> Counter:
+        """Outcome counts expanded to the raw fault space (Pitfall 1 safe).
+
+        Each live experiment result is weighted by its class's data
+        lifetime; dead classes contribute their full weight as
+        "No Effect".  Counts sum to the fault-space size ``w``.
+        """
+        counts: Counter = Counter()
+        for interval in self.partition.live_classes():
+            outcomes = self.class_outcomes[(interval.addr,
+                                            interval.first_slot)]
+            for outcome in outcomes:
+                counts[outcome] += interval.length
+        counts[Outcome.NO_EFFECT] += self.partition.known_no_effect_weight
+        return counts
+
+    def raw_counts(self) -> Counter:
+        """Unweighted per-experiment counts — the Pitfall 1 numbers.
+
+        Exposed so the pitfall can be demonstrated and measured; do not
+        use these for coverage or comparison.
+        """
+        counts: Counter = Counter()
+        for outcomes in self.class_outcomes.values():
+            counts.update(outcomes)
+        return counts
+
+    def class_records(self) -> list[tuple[ByteInterval, tuple[Outcome, ...]]]:
+        """Live classes paired with their per-bit outcomes."""
+        out = []
+        for interval in self.partition.live_classes():
+            key = (interval.addr, interval.first_slot)
+            out.append((interval, self.class_outcomes[key]))
+        return out
+
+
+def run_full_scan(golden: GoldenRun, *,
+                  partition: DefUsePartition | None = None,
+                  executor: ExperimentExecutor | None = None,
+                  keep_records: bool = False,
+                  progress: ProgressCallback | None = None) -> CampaignResult:
+    """Def/use-pruned full fault-space scan (exact, no sampling error)."""
+    if partition is None:
+        partition = golden.partition()
+    if executor is None:
+        executor = ExperimentExecutor(golden)
+    live = partition.live_classes()  # sorted by injection slot
+    class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
+    records: list[ExperimentRecord] = []
+    for done, interval in enumerate(live):
+        results = [executor.run(coord) for coord in interval.experiments()]
+        class_outcomes[(interval.addr, interval.first_slot)] = tuple(
+            record.outcome for record in results)
+        if keep_records:
+            records.extend(results)
+        if progress is not None:
+            progress(done + 1, len(live))
+    return CampaignResult(golden=golden, partition=partition,
+                          class_outcomes=class_outcomes, records=records)
+
+
+@dataclass
+class BruteForceResult:
+    """Ground-truth scan: one real experiment per raw coordinate."""
+
+    golden: GoldenRun
+    outcomes: dict[FaultCoordinate, Outcome]
+
+    def counts(self) -> Counter:
+        return Counter(self.outcomes.values())
+
+    @property
+    def fault_space_size(self) -> int:
+        return self.golden.fault_space.size
+
+
+def run_brute_force(golden: GoldenRun, *,
+                    executor: ExperimentExecutor | None = None
+                    ) -> BruteForceResult:
+    """Run one experiment for *every* fault-space coordinate.
+
+    Only feasible for tiny programs; used by tests and examples to prove
+    that def/use pruning plus weighting reproduces these numbers exactly.
+    """
+    if executor is None:
+        executor = ExperimentExecutor(golden)
+    space = golden.fault_space
+    outcomes: dict[FaultCoordinate, Outcome] = {}
+    # Iterate slot-major so the executor's fast-forward engages.
+    for coord in space.iter_coordinates():
+        outcomes[coord] = executor.run(coord).outcome
+    return BruteForceResult(golden=golden, outcomes=outcomes)
+
+
+@dataclass
+class SamplingResult:
+    """Outcome of a sampled campaign.
+
+    ``samples`` pairs every drawn sample with its outcome.  Samples that
+    fell into the same live class share one conducted experiment;
+    samples in dead classes are "No Effect" without any experiment —
+    but *all* samples count in the estimate (Pitfall 2).
+
+    ``population`` is the size of the space the samples were drawn from:
+    ``w`` for raw-uniform sampling, ``w′ = live weight`` for live-only
+    sampling.  Extrapolation (Pitfall 3, Corollary 2) must scale counts
+    by ``population / n_samples``.
+    """
+
+    golden: GoldenRun
+    partition: DefUsePartition
+    samples: list[tuple[Sample, Outcome]]
+    population: int
+    experiments_conducted: int
+    sampler: str
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    def counts(self) -> Counter:
+        return Counter(outcome for _, outcome in self.samples)
+
+    def failure_count(self) -> int:
+        return sum(1 for _, outcome in self.samples if outcome.is_failure)
+
+
+#: Sampler names accepted by :func:`run_sampling`.
+SAMPLERS = ("uniform", "live-only", "biased-class")
+
+
+def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
+                 sampler: str = "uniform",
+                 partition: DefUsePartition | None = None,
+                 executor: ExperimentExecutor | None = None
+                 ) -> SamplingResult:
+    """Run a sampled campaign with def/use-pruned experiment sharing."""
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    if partition is None:
+        partition = golden.partition()
+    if executor is None:
+        executor = ExperimentExecutor(golden)
+
+    if sampler == "uniform":
+        drawn = UniformSampler(golden.fault_space, seed=seed) \
+            .draw_classified(n_samples, partition)
+        population = golden.fault_space.size
+    elif sampler == "live-only":
+        live_sampler = LiveOnlySampler(partition, seed=seed)
+        drawn = live_sampler.draw_classified(n_samples)
+        population = live_sampler.population
+    elif sampler == "biased-class":
+        drawn = BiasedClassSampler(partition, seed=seed) \
+            .draw_classified(n_samples)
+        # The biased sampler has no meaningful population; report w so the
+        # demonstration can show how wrong its extrapolation is.
+        population = golden.fault_space.size
+    else:
+        raise ValueError(f"unknown sampler {sampler!r}; pick from {SAMPLERS}")
+
+    # One experiment per distinct (class, bit); dead classes need none.
+    cache: dict[tuple[int, int, int], Outcome] = {}
+    experiments = 0
+    results: list[tuple[Sample, Outcome]] = []
+    # Execute in ascending slot order for snapshot reuse, then restore the
+    # original sample order (it is irrelevant for counting, but callers
+    # may inspect per-sample sequences).
+    order = sorted(range(len(drawn)),
+                   key=lambda i: drawn[i].coordinate.slot)
+    outcome_by_index: dict[int, Outcome] = {}
+    for i in order:
+        sample = drawn[i]
+        if sample.class_kind != LIVE:
+            outcome_by_index[i] = Outcome.NO_EFFECT
+            continue
+        interval = partition.locate(sample.coordinate)
+        key = (interval.addr, interval.first_slot, sample.coordinate.bit)
+        if key not in cache:
+            representative = FaultCoordinate(
+                slot=interval.injection_slot, addr=interval.addr,
+                bit=sample.coordinate.bit)
+            cache[key] = executor.run(representative).outcome
+            experiments += 1
+        outcome_by_index[i] = cache[key]
+    results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]
+    return SamplingResult(golden=golden, partition=partition,
+                          samples=results, population=population,
+                          experiments_conducted=experiments, sampler=sampler)

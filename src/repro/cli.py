@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``table1``
+    Print the Poisson fault-count table (Table I).
+``scan <program>``
+    Run a def/use-pruned full fault-space scan of a registered program
+    and print its outcome histogram, coverage and failure count.
+``fig3``
+    Run the Section IV dilution experiment and print the table.
+``fig2 [--rounds N] [--items N]``
+    Run the four Figure 2 campaigns (reduced sizes by default) and
+    print the panels and verdicts.
+``list``
+    List the registered benchmark programs.
+``render <program>``
+    Print the ASCII fault-space diagram of a (small) program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    fig2_data,
+    fig2_report,
+    fig3_report,
+    outcome_histogram,
+    render_fault_space,
+    table1_report,
+    verdict_report,
+)
+from .campaign import CampaignSummary, record_golden, run_full_scan
+from .metrics import weighted_coverage, weighted_failure_count
+from .programs import all_programs, bin_sem2, hi, sync2
+
+
+def _resolve(name: str):
+    programs = all_programs()
+    if name not in programs:
+        available = ", ".join(sorted(programs))
+        raise SystemExit(f"unknown program {name!r}; available: "
+                         f"{available}")
+    return programs[name]()
+
+
+def cmd_table1(_args) -> None:
+    print(table1_report())
+
+
+def cmd_list(_args) -> None:
+    for name, thunk in sorted(all_programs().items()):
+        program = thunk()
+        print(f"{name:20s} rom={program.rom_size:4d} "
+              f"ram={program.ram_size:5d}B")
+
+
+def cmd_render(args) -> None:
+    golden = record_golden(_resolve(args.program))
+    print(render_fault_space(golden, max_cycles=args.max_cycles,
+                             max_bytes=args.max_bytes))
+
+
+def cmd_scan(args) -> None:
+    program = _resolve(args.program)
+    golden = record_golden(program)
+    print(f"{program.name}: Δt={golden.cycles} cycles, "
+          f"Δm={program.ram_size} bytes, w={golden.fault_space.size}")
+    scan = run_full_scan(golden)
+    print(outcome_histogram(scan))
+    print(f"\nweighted coverage: {100 * weighted_coverage(scan):.2f}%")
+    print(f"absolute failure count F: "
+          f"{weighted_failure_count(scan).total:.0f}")
+
+
+def cmd_fig3(_args) -> None:
+    summaries = {}
+    for name, thunk in (("hi", hi.baseline),
+                        ("hi-dft4", lambda: hi.dft_variant(4)),
+                        ("hi-dftprime4", lambda: hi.dft_prime_variant(4)),
+                        ("hi-mem2", lambda: hi.memory_diluted_variant(2))):
+        summaries[name] = CampaignSummary.from_result(
+            run_full_scan(record_golden(thunk())))
+    print(fig3_report(summaries))
+
+
+def cmd_fig2(args) -> None:
+    variants = {
+        "bin_sem2": bin_sem2.baseline(args.rounds),
+        "bin_sem2-sumdmr": bin_sem2.hardened(args.rounds),
+        "sync2": sync2.baseline(args.items),
+        "sync2-sumdmr": sync2.hardened(args.items),
+    }
+    summaries = {}
+    for name, program in variants.items():
+        print(f"scanning {name}...", file=sys.stderr, flush=True)
+        summaries[name] = CampaignSummary.from_result(
+            run_full_scan(record_golden(program)))
+    print(fig2_report(fig2_data(summaries)))
+    print()
+    print(verdict_report(summaries["bin_sem2"],
+                         summaries["bin_sem2-sumdmr"], "bin_sem2"))
+    print()
+    print(verdict_report(summaries["sync2"], summaries["sync2-sumdmr"],
+                         "sync2"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSN'15 fault-injection pitfalls reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table I").set_defaults(
+        func=cmd_table1)
+    sub.add_parser("list", help="list registered programs").set_defaults(
+        func=cmd_list)
+
+    render = sub.add_parser("render", help="ASCII fault-space diagram")
+    render.add_argument("program")
+    render.add_argument("--max-cycles", type=int, default=64)
+    render.add_argument("--max-bytes", type=int, default=8)
+    render.set_defaults(func=cmd_render)
+
+    scan = sub.add_parser("scan", help="full fault-space scan")
+    scan.add_argument("program")
+    scan.set_defaults(func=cmd_scan)
+
+    sub.add_parser("fig3", help="Section IV dilution table").set_defaults(
+        func=cmd_fig3)
+
+    fig2 = sub.add_parser("fig2", help="Figure 2 campaigns")
+    fig2.add_argument("--rounds", type=int, default=2,
+                      help="bin_sem2 rounds (paper scale: 4)")
+    fig2.add_argument("--items", type=int, default=4,
+                      help="sync2 items (paper scale: 10)")
+    fig2.set_defaults(func=cmd_fig2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

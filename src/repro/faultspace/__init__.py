@@ -1,0 +1,42 @@
+"""Fault-space modeling: the cycles × bits grid, def/use pruning, sampling."""
+
+from .defuse import ByteInterval, DefUsePartition, DEAD, LIVE
+from .model import FaultCoordinate, FaultSpace
+from .regions import Region, RegionMap
+from .registers import (
+    REGISTER_BITS,
+    RegisterFaultCoordinate,
+    RegisterFaultSpace,
+    RegisterInterval,
+    RegisterPartition,
+    register_reads,
+    register_writes,
+)
+from .sampling import (
+    BiasedClassSampler,
+    LiveOnlySampler,
+    Sample,
+    UniformSampler,
+)
+
+__all__ = [
+    "BiasedClassSampler",
+    "REGISTER_BITS",
+    "RegisterFaultCoordinate",
+    "RegisterFaultSpace",
+    "RegisterInterval",
+    "RegisterPartition",
+    "register_reads",
+    "register_writes",
+    "ByteInterval",
+    "DEAD",
+    "DefUsePartition",
+    "FaultCoordinate",
+    "FaultSpace",
+    "LIVE",
+    "LiveOnlySampler",
+    "Region",
+    "RegionMap",
+    "Sample",
+    "UniformSampler",
+]

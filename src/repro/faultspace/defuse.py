@@ -1,0 +1,215 @@
+"""Def/use fault-space pruning (Section III-C of the paper).
+
+The pruning partitions each memory bit's timeline into *equivalence
+classes*:
+
+* an interval between a write/read and the *next read* of the same byte
+  is **live**: any fault in it is first activated by that read, so one
+  experiment (injected right before the read) stands for the whole
+  interval;
+* an interval ending in a write (the fault is overwritten), the tail
+  after the last access (the fault is never read again), and the entire
+  timeline of never-read bytes are **dead**: the outcome is known to be
+  "No Effect" a priori, no experiment needed.
+
+Machine reset counts as a def (at slot 0) of every RAM byte, so the
+intervals of each byte exactly partition the timeline ``[1, Δt]`` and the
+class weights sum to the fault-space size ``w`` — the invariant behind
+Pitfall 1's weighting requirement.
+
+Because one instruction accesses whole bytes, intervals are computed per
+byte and stand for eight per-bit classes each; live classes still need
+one experiment *per bit* (different bits of the same word can mask
+differently), while weights simply multiply by eight.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..isa.tracing import MemoryTrace
+from .model import FaultCoordinate, FaultSpace
+
+#: Class kinds.
+LIVE = "live"
+DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class ByteInterval:
+    """One def/use equivalence class covering all 8 bits of one byte.
+
+    The interval spans injection slots ``[first_slot, last_slot]``
+    (inclusive).  For live intervals, ``last_slot`` is the slot of the
+    activating read, which is also the representative injection slot.
+    """
+
+    addr: int
+    first_slot: int
+    last_slot: int
+    kind: str  # LIVE or DEAD
+
+    def __post_init__(self) -> None:
+        if self.first_slot > self.last_slot:
+            raise ValueError(
+                f"empty interval [{self.first_slot}, {self.last_slot}]")
+        if self.kind not in (LIVE, DEAD):
+            raise ValueError(f"bad kind {self.kind!r}")
+
+    @property
+    def length(self) -> int:
+        """Data lifetime in cycles — the per-bit weight of this class."""
+        return self.last_slot - self.first_slot + 1
+
+    @property
+    def weight_bits(self) -> int:
+        """Total fault-space coordinates covered (all 8 bits)."""
+        return self.length * 8
+
+    @property
+    def injection_slot(self) -> int:
+        """Representative injection slot (right before the read)."""
+        return self.last_slot
+
+    def covers(self, slot: int) -> bool:
+        return self.first_slot <= slot <= self.last_slot
+
+    def experiments(self):
+        """The 8 representative fault coordinates (one per bit)."""
+        if self.kind != LIVE:
+            raise ValueError("dead classes need no experiments")
+        return [FaultCoordinate(slot=self.last_slot, addr=self.addr, bit=b)
+                for b in range(8)]
+
+
+@dataclass
+class DefUsePartition:
+    """The complete def/use partitioning of a benchmark's fault space.
+
+    ``intervals[addr]`` lists the byte's intervals in chronological
+    order, exactly covering ``[1, fault_space.cycles]``.
+    """
+
+    fault_space: FaultSpace
+    intervals: dict[int, list[ByteInterval]] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: MemoryTrace,
+                   fault_space: FaultSpace) -> "DefUsePartition":
+        """Build the partition from a golden-run memory trace."""
+        if trace.total_slots != fault_space.cycles:
+            raise ValueError(
+                f"trace covers {trace.total_slots} slots but fault space "
+                f"has {fault_space.cycles} cycles")
+        partition = cls(fault_space=fault_space)
+        total = fault_space.cycles
+        for addr in range(fault_space.ram_bytes):
+            events = trace.accesses(addr)
+            intervals: list[ByteInterval] = []
+            prev_slot = 0  # machine reset defines every byte at slot 0
+            for event in events:
+                if event.slot > total:
+                    raise ValueError(
+                        f"access at slot {event.slot} beyond run end")
+                if event.slot <= prev_slot:
+                    raise ValueError(
+                        f"trace events for byte {addr} out of order")
+                kind = LIVE if event.is_read else DEAD
+                intervals.append(ByteInterval(
+                    addr=addr, first_slot=prev_slot + 1,
+                    last_slot=event.slot, kind=kind))
+                prev_slot = event.slot
+            if prev_slot < total:
+                intervals.append(ByteInterval(
+                    addr=addr, first_slot=prev_slot + 1, last_slot=total,
+                    kind=DEAD))
+            partition.intervals[addr] = intervals
+        return partition
+
+    # -- queries --------------------------------------------------------------
+
+    def byte_intervals(self, addr: int) -> list[ByteInterval]:
+        return self.intervals.get(addr, [])
+
+    def live_classes(self) -> list[ByteInterval]:
+        """All live classes, ordered by injection slot (then address)."""
+        live = [iv for ivs in self.intervals.values() for iv in ivs
+                if iv.kind == LIVE]
+        live.sort(key=lambda iv: (iv.injection_slot, iv.addr))
+        return live
+
+    def dead_classes(self) -> list[ByteInterval]:
+        return [iv for ivs in self.intervals.values() for iv in ivs
+                if iv.kind == DEAD]
+
+    def locate(self, coord: FaultCoordinate) -> ByteInterval:
+        """Find the equivalence class containing a raw fault coordinate.
+
+        This is the primitive that makes Pitfall-2-safe sampling cheap:
+        a uniform sample from the raw space maps to the single class
+        whose representative experiment provides its outcome.
+        """
+        if not self.fault_space.contains(coord):
+            raise IndexError(f"{coord} outside fault space")
+        intervals = self.intervals[coord.addr]
+        starts = [iv.first_slot for iv in intervals]
+        idx = bisect.bisect_right(starts, coord.slot) - 1
+        interval = intervals[idx]
+        if not interval.covers(coord.slot):
+            raise AssertionError(
+                f"partition hole at {coord}")  # pragma: no cover
+        return interval
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def experiment_count(self) -> int:
+        """FI experiments needed for a full scan (8 per live class)."""
+        return 8 * sum(1 for ivs in self.intervals.values()
+                       for iv in ivs if iv.kind == LIVE)
+
+    @property
+    def live_weight(self) -> int:
+        """Fault-space coordinates covered by live classes."""
+        return sum(iv.weight_bits for ivs in self.intervals.values()
+                   for iv in ivs if iv.kind == LIVE)
+
+    @property
+    def known_no_effect_weight(self) -> int:
+        """Coordinates known a priori to be "No Effect" (dead classes)."""
+        return sum(iv.weight_bits for ivs in self.intervals.values()
+                   for iv in ivs if iv.kind == DEAD)
+
+    @property
+    def total_weight(self) -> int:
+        """Must equal ``fault_space.size`` — checked by :meth:`validate`."""
+        return sum(iv.weight_bits for ivs in self.intervals.values()
+                   for iv in ivs)
+
+    def validate(self) -> None:
+        """Check the partition invariants; raises ``AssertionError``.
+
+        * every byte's intervals exactly tile ``[1, Δt]``;
+        * total weight equals the fault-space size ``w``.
+        """
+        total = self.fault_space.cycles
+        for addr, intervals in self.intervals.items():
+            expected = 1
+            for iv in intervals:
+                assert iv.first_slot == expected, (
+                    f"byte {addr}: gap before slot {iv.first_slot}")
+                expected = iv.last_slot + 1
+            assert expected == total + 1, (
+                f"byte {addr}: intervals end at {expected - 1}, "
+                f"expected {total}")
+        assert self.total_weight == self.fault_space.size
+
+    def reduction_factor(self) -> float:
+        """How many raw coordinates each conducted experiment stands for."""
+        experiments = self.experiment_count
+        if experiments == 0:
+            return float("inf")
+        return self.fault_space.size / experiments

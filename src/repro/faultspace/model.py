@@ -1,0 +1,103 @@
+"""The fault-space model: CPU cycles × memory bits.
+
+Following Section III-A of the paper, the fault space of one benchmark
+run is the discrete grid ``Δt × Δm``: every (injection slot, memory bit)
+coordinate denotes the event "this RAM bit flips right before the t-th
+instruction executes".  Its size ``w = Δt · Δm`` parametrizes both the
+Poisson fault-occurrence model and the extrapolation of sampled results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class FaultCoordinate:
+    """One point of the fault space.
+
+    ``slot``
+        1-based injection slot: the fault becomes visible to the
+        ``slot``-th executed instruction (inject after ``slot - 1``
+        instructions have run).
+    ``addr`` / ``bit``
+        Byte address in RAM and bit index (0 = LSB) to flip.
+    """
+
+    slot: int
+    addr: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.slot < 1:
+            raise ValueError(f"slot must be >= 1, got {self.slot}")
+        if self.addr < 0:
+            raise ValueError(f"addr must be >= 0, got {self.addr}")
+        if not 0 <= self.bit < 8:
+            raise ValueError(f"bit must be in 0..7, got {self.bit}")
+
+    @property
+    def bit_index(self) -> int:
+        """Absolute bit position on the memory axis (addr*8 + bit)."""
+        return self.addr * 8 + self.bit
+
+
+@dataclass(frozen=True)
+class FaultSpace:
+    """The full fault space of one deterministic benchmark run.
+
+    ``cycles``
+        Benchmark runtime Δt in CPU cycles (= number of injection slots).
+    ``ram_bytes``
+        Benchmark memory usage Δm in bytes (the program's declared RAM
+        footprint; the memory axis spans all its bits).
+    """
+
+    cycles: int
+    ram_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ValueError("fault space needs at least one cycle")
+        if self.ram_bytes < 1:
+            raise ValueError("fault space needs at least one RAM byte")
+
+    @property
+    def memory_bits(self) -> int:
+        """Δm in bits."""
+        return self.ram_bytes * 8
+
+    @property
+    def size(self) -> int:
+        """w = Δt · Δm — the number of fault-space coordinates."""
+        return self.cycles * self.memory_bits
+
+    def contains(self, coord: FaultCoordinate) -> bool:
+        return (1 <= coord.slot <= self.cycles
+                and 0 <= coord.addr < self.ram_bytes)
+
+    def coordinate(self, index: int) -> FaultCoordinate:
+        """Map a flat index in ``[0, size)`` to a coordinate.
+
+        The layout is row-major over (slot, addr, bit); samplers draw
+        uniform flat indices and convert them here, which guarantees the
+        raw-space uniformity that Pitfall 2 demands.
+        """
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside fault space")
+        slot, rest = divmod(index, self.memory_bits)
+        addr, bit = divmod(rest, 8)
+        return FaultCoordinate(slot=slot + 1, addr=addr, bit=bit)
+
+    def index(self, coord: FaultCoordinate) -> int:
+        """Inverse of :meth:`coordinate`."""
+        if not self.contains(coord):
+            raise IndexError(f"{coord} outside fault space")
+        return (coord.slot - 1) * self.memory_bits + coord.addr * 8 + coord.bit
+
+    def iter_coordinates(self):
+        """Iterate over every coordinate (only sensible for tiny spaces)."""
+        for slot in range(1, self.cycles + 1):
+            for addr in range(self.ram_bytes):
+                for bit in range(8):
+                    yield FaultCoordinate(slot=slot, addr=addr, bit=bit)

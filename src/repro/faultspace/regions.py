@@ -1,0 +1,79 @@
+"""Named memory regions for fault-space book-keeping and reporting.
+
+Campaign reports often break results down by what the affected memory
+holds (kernel objects, thread stacks, application data...).  A
+:class:`RegionMap` attaches names to byte ranges of a program's RAM and
+lets analysis code attribute fault coordinates and equivalence classes
+to regions.  Regions do not change campaign semantics — the fault model
+stays "uniform over all of RAM".
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Region:
+    """A half-open byte range ``[start, end)`` with a name."""
+
+    start: int
+    end: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"bad region [{self.start}, {self.end})")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+
+class RegionMap:
+    """A set of non-overlapping named regions over a program's RAM."""
+
+    def __init__(self, ram_size: int):
+        if ram_size <= 0:
+            raise ValueError("ram_size must be positive")
+        self.ram_size = ram_size
+        self._regions: list[Region] = []
+
+    def add(self, start: int, end: int, name: str) -> Region:
+        """Add a region; raises ``ValueError`` on overlap or out of RAM."""
+        region = Region(start=start, end=end, name=name)
+        if end > self.ram_size:
+            raise ValueError(f"region {name!r} exceeds RAM size")
+        for existing in self._regions:
+            if region.start < existing.end and existing.start < region.end:
+                raise ValueError(
+                    f"region {name!r} overlaps {existing.name!r}")
+        self._regions.append(region)
+        self._regions.sort()
+        return region
+
+    @property
+    def regions(self) -> list[Region]:
+        return list(self._regions)
+
+    def lookup(self, addr: int) -> Region | None:
+        """Find the region containing ``addr`` (or ``None``)."""
+        if not 0 <= addr < self.ram_size:
+            raise IndexError(f"address {addr:#x} outside RAM")
+        starts = [r.start for r in self._regions]
+        idx = bisect.bisect_right(starts, addr) - 1
+        if idx >= 0 and self._regions[idx].contains(addr):
+            return self._regions[idx]
+        return None
+
+    def name_of(self, addr: int, default: str = "unmapped") -> str:
+        region = self.lookup(addr)
+        return region.name if region is not None else default
+
+    def coverage(self) -> float:
+        """Fraction of RAM covered by named regions."""
+        return sum(r.size for r in self._regions) / self.ram_size

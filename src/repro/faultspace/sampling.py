@@ -1,0 +1,152 @@
+"""Fault-space samplers.
+
+Two samplers are provided:
+
+* :class:`UniformSampler` — the correct one: draws coordinates uniformly
+  from the *raw, unpruned* fault space (Section III-B / III-E).  When
+  combined with def/use pruning, several samples may land in the same
+  equivalence class; only one experiment is conducted per class, but
+  every sample counts in the estimate.
+* :class:`BiasedClassSampler` — deliberately wrong, kept to *demonstrate*
+  Pitfall 2: it samples uniformly over pruned equivalence classes,
+  ignoring their sizes.  Its estimates are biased whenever class size
+  correlates with outcome.
+
+Both samplers are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .defuse import DefUsePartition, LIVE
+from .model import FaultCoordinate, FaultSpace
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One drawn sample: the raw coordinate and its equivalence class."""
+
+    coordinate: FaultCoordinate
+    addr: int
+    class_first_slot: int
+    class_kind: str
+
+    @property
+    def class_key(self) -> tuple[int, int]:
+        """Hashable identity of the class the sample fell into."""
+        return (self.addr, self.class_first_slot)
+
+
+class UniformSampler:
+    """Uniform sampling (with replacement) from the raw fault space."""
+
+    def __init__(self, fault_space: FaultSpace, *, seed: int = 0):
+        self.fault_space = fault_space
+        self._rng = random.Random(seed)
+
+    def draw(self, count: int) -> list[FaultCoordinate]:
+        """Draw ``count`` coordinates uniformly from the raw space."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        size = self.fault_space.size
+        return [self.fault_space.coordinate(self._rng.randrange(size))
+                for _ in range(count)]
+
+    def draw_classified(self, count: int,
+                        partition: DefUsePartition) -> list[Sample]:
+        """Draw ``count`` samples and map each to its def/use class."""
+        samples = []
+        for coord in self.draw(count):
+            interval = partition.locate(coord)
+            samples.append(Sample(
+                coordinate=coord,
+                addr=interval.addr,
+                class_first_slot=interval.first_slot,
+                class_kind=interval.kind,
+            ))
+        return samples
+
+
+class LiveOnlySampler:
+    """Uniform sampling restricted to the live part of the fault space.
+
+    Implements the refinement of Pitfall 3, Corollary 1: since "No
+    Effect" outcomes are irrelevant for the comparison metric, sampling
+    can skip equivalence classes known a priori to be benign, shrinking
+    the population from ``w`` to ``w' = partition.live_weight``.
+    Extrapolation must then use ``w'`` as the population size.
+    """
+
+    def __init__(self, partition: DefUsePartition, *, seed: int = 0):
+        self.partition = partition
+        self._rng = random.Random(seed)
+        self._live = partition.live_classes()
+        # Cumulative weights over live classes enable O(log n) draws.
+        self._cumulative: list[int] = []
+        total = 0
+        for interval in self._live:
+            total += interval.weight_bits
+            self._cumulative.append(total)
+        self.population = total  # == partition.live_weight
+
+    def draw_classified(self, count: int) -> list[Sample]:
+        """Draw ``count`` samples uniformly from live coordinates."""
+        import bisect
+
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if self.population == 0:
+            raise ValueError("no live coordinates to sample from")
+        samples = []
+        for _ in range(count):
+            flat = self._rng.randrange(self.population)
+            idx = bisect.bisect_right(self._cumulative, flat)
+            interval = self._live[idx]
+            offset = flat - (self._cumulative[idx] - interval.weight_bits)
+            slot_offset, bit = divmod(offset, 8)
+            coord = FaultCoordinate(
+                slot=interval.first_slot + slot_offset,
+                addr=interval.addr, bit=bit)
+            samples.append(Sample(
+                coordinate=coord,
+                addr=interval.addr,
+                class_first_slot=interval.first_slot,
+                class_kind=interval.kind,
+            ))
+        return samples
+
+
+class BiasedClassSampler:
+    """The Pitfall 2 anti-pattern: uniform over *classes*, not coordinates.
+
+    Each draw picks a live equivalence class uniformly at random
+    (regardless of its size) and injects at its representative
+    coordinate.  Kept in the library purely so the bias can be measured
+    and demonstrated; do not use for real campaigns.
+    """
+
+    def __init__(self, partition: DefUsePartition, *, seed: int = 0):
+        self.partition = partition
+        self._rng = random.Random(seed)
+        self._live = partition.live_classes()
+        if not self._live:
+            raise ValueError("no live classes to sample from")
+
+    def draw_classified(self, count: int) -> list[Sample]:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        samples = []
+        for _ in range(count):
+            interval = self._rng.choice(self._live)
+            bit = self._rng.randrange(8)
+            coord = FaultCoordinate(slot=interval.injection_slot,
+                                    addr=interval.addr, bit=bit)
+            samples.append(Sample(
+                coordinate=coord,
+                addr=interval.addr,
+                class_first_slot=interval.first_slot,
+                class_kind=LIVE,
+            ))
+        return samples

@@ -1,0 +1,51 @@
+"""Software-implemented hardware fault-tolerance mechanisms and cheats."""
+
+from .checksum import (
+    ObjectView,
+    additive_checksum,
+    initial_image,
+    protected_size_bytes,
+    read_object,
+)
+from .dft import (
+    DFT_SCRATCH_REG,
+    dilute_program,
+    load_dilution,
+    memory_dilution,
+    nop_dilution,
+)
+from .passes import (
+    HardeningPass,
+    SourcePass,
+    TransformError,
+    append_to_data_segment,
+    compose,
+    insert_after_label,
+    split_label,
+)
+from .sumdmr import ProtectedObject, SumDmrEmitter
+from .tmr import TmrEmitter, TmrWord
+
+__all__ = [
+    "DFT_SCRATCH_REG",
+    "HardeningPass",
+    "ObjectView",
+    "ProtectedObject",
+    "SourcePass",
+    "SumDmrEmitter",
+    "TmrEmitter",
+    "TmrWord",
+    "TransformError",
+    "additive_checksum",
+    "append_to_data_segment",
+    "compose",
+    "dilute_program",
+    "initial_image",
+    "insert_after_label",
+    "load_dilution",
+    "memory_dilution",
+    "nop_dilution",
+    "protected_size_bytes",
+    "read_object",
+    "split_label",
+]

@@ -1,0 +1,91 @@
+"""Python-side mirror of the SUM+DMR object layout.
+
+The assembly emitted by :mod:`repro.hardening.sumdmr` maintains, for
+each protected object of ``n`` words::
+
+    [ primary: n words | replica: n words | checksum: 1 word ]
+
+with ``checksum = sum(primary words) mod 2^32``.  This module implements
+the same arithmetic in Python so tests and analysis code can construct
+initial images and verify RAM states without re-implementing the layout
+ad hoc.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+WORD = 4
+MASK32 = 0xFFFFFFFF
+
+
+def additive_checksum(words: list[int]) -> int:
+    """Sum of 32-bit words modulo 2^32 — detects any single-bit flip."""
+    return sum(w & MASK32 for w in words) & MASK32
+
+
+def protected_size_bytes(n_words: int) -> int:
+    """Total RAM footprint of a protected object: 2n + 1 words."""
+    if n_words <= 0:
+        raise ValueError("object needs at least one word")
+    return (2 * n_words + 1) * WORD
+
+
+def initial_image(init_words: list[int]) -> bytes:
+    """The consistent initial byte image: primary, replica, checksum."""
+    if not init_words:
+        raise ValueError("object needs at least one word")
+    words = [w & MASK32 for w in init_words]
+    image = words + words + [additive_checksum(words)]
+    return struct.pack(f"<{len(image)}I", *image)
+
+
+@dataclass(frozen=True)
+class ObjectView:
+    """A decoded view of a protected object in a RAM image."""
+
+    primary: tuple[int, ...]
+    replica: tuple[int, ...]
+    checksum: int
+
+    @property
+    def primary_sum(self) -> int:
+        return additive_checksum(list(self.primary))
+
+    @property
+    def replica_sum(self) -> int:
+        return additive_checksum(list(self.replica))
+
+    @property
+    def is_consistent(self) -> bool:
+        """Primary matches replica and both match the checksum."""
+        return (self.primary == self.replica
+                and self.primary_sum == self.checksum)
+
+    @property
+    def is_recoverable(self) -> bool:
+        """A single corruption the check-and-repair logic can fix.
+
+        Either the primary is intact, or the replica agrees with the
+        checksum (restore), or primary and replica agree (checksum was
+        hit — recompute).
+        """
+        return (self.primary_sum == self.checksum
+                or self.replica_sum == self.checksum
+                or self.primary == self.replica)
+
+
+def read_object(ram: bytes | bytearray, addr: int,
+                n_words: int) -> ObjectView:
+    """Decode a protected object from a RAM image."""
+    if addr % WORD:
+        raise ValueError("protected objects must be word-aligned")
+    total = protected_size_bytes(n_words)
+    blob = bytes(ram[addr: addr + total])
+    if len(blob) != total:
+        raise ValueError("object extends beyond RAM image")
+    values = struct.unpack(f"<{2 * n_words + 1}I", blob)
+    return ObjectView(primary=values[:n_words],
+                      replica=values[n_words: 2 * n_words],
+                      checksum=values[2 * n_words])

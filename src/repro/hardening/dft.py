@@ -1,0 +1,113 @@
+""""Dilution Fault Tolerance" — the paper's benchmarking cheat (Section IV).
+
+DFT is deliberately *not* a fault-tolerance mechanism: it performs no
+useful work whatsoever, yet improves the fault-coverage metric of any
+benchmark it is applied to, which is exactly the point of the paper's
+Gedankenexperiment.  Three flavours are implemented:
+
+* :func:`nop_dilution` (DFT) — prepend ``n`` NOPs, growing the time axis
+  of the fault space; every added coordinate is "No Effect".
+* :func:`load_dilution` (DFT′) — prepend ``n`` dummy loads instead, so
+  the added faults count as "activated" and the Barbosa-style
+  "exclude never-activated faults" restriction is defeated too.
+* :func:`memory_dilution` — reserve extra never-used RAM, growing the
+  memory axis instead of the time axis (Section IV-C notes this works
+  just as well).
+
+All three leave the absolute failure count F exactly unchanged — the
+paper's proposed metric is immune to dilution.
+"""
+
+from __future__ import annotations
+
+from .passes import (
+    HardeningPass,
+    TransformError,
+    insert_after_label,
+)
+
+#: Scratch register clobbered by DFT′ dummy loads.  By this project's
+#: convention r13 is a caller-saved scratch register; a dummy load into
+#: it before the program proper starts is harmless.
+DFT_SCRATCH_REG = "r13"
+
+
+def nop_dilution(count: int, *, label: str = "start") -> HardeningPass:
+    """DFT: prepend ``count`` NOPs at the program entry label.
+
+    Increases the benchmark runtime Δt by ``count`` cycles; the new
+    fault-space columns are all dead (no live data in them), so coverage
+    rises while F stays constant.
+    """
+    if count < 0:
+        raise TransformError("NOP count must be non-negative")
+    return HardeningPass(
+        name=f"dft{count}",
+        description=f"dilution fault tolerance: {count} prepended NOPs",
+        transform=lambda source: insert_after_label(
+            source, label, ["        nop"] * count),
+    )
+
+
+def load_dilution(count: int, addresses: list[int] | list[str], *,
+                  label: str = "start") -> HardeningPass:
+    """DFT′: prepend ``count`` dummy loads cycling over ``addresses``.
+
+    Each dummy load reads a RAM byte into a scratch register and
+    discards it.  The read *activates* faults in the corresponding
+    def/use interval, so restrictions that only count activated faults
+    (Section IV-B) are fooled as well.  Addresses may be integers or
+    data-label names.
+    """
+    if count < 0:
+        raise TransformError("load count must be non-negative")
+    if count > 0 and not addresses:
+        raise TransformError("DFT' needs at least one address to re-read")
+    lines = [
+        f"        lbu  {DFT_SCRATCH_REG}, {addresses[i % len(addresses)]}"
+        f"(zero)"
+        for i in range(count)
+    ]
+    return HardeningPass(
+        name=f"dftprime{count}",
+        description=(f"dilution fault tolerance with activation: "
+                     f"{count} prepended dummy loads"),
+        transform=lambda source: insert_after_label(source, label, lines),
+    )
+
+
+def memory_dilution(extra_bytes: int) -> HardeningPass:
+    """Spatial dilution: grow the RAM footprint by never-used bytes.
+
+    Applied via :meth:`HardeningPass.apply_to_program` with a larger
+    ``ram_size``; as a source pass it is the identity.  Provided as a
+    pass so it composes and documents itself like the others.
+    """
+    if extra_bytes < 0:
+        raise TransformError("extra_bytes must be non-negative")
+    return HardeningPass(
+        name=f"memdilute{extra_bytes}",
+        description=(f"dilution via {extra_bytes} bytes of unused RAM "
+                     "(apply with ram_size += extra_bytes)"),
+        transform=lambda source: source,
+    )
+
+
+def dilute_program(program, *, nops: int = 0, loads: int = 0,
+                   load_addresses=None, extra_bytes: int = 0):
+    """Convenience: apply any combination of dilutions to a program."""
+    source = program.source
+    suffix_parts = []
+    if nops:
+        source = nop_dilution(nops).apply(source)
+        suffix_parts.append(f"dft{nops}")
+    if loads:
+        source = load_dilution(loads, load_addresses or [0]).apply(source)
+        suffix_parts.append(f"dftprime{loads}")
+    if extra_bytes:
+        suffix_parts.append(f"mem{extra_bytes}")
+    from ..isa.assembler import assemble
+
+    suffix = "+".join(suffix_parts) if suffix_parts else "diluted0"
+    return assemble(source, name=f"{program.name}-{suffix}",
+                    ram_size=program.ram_size + extra_bytes)

@@ -1,0 +1,136 @@
+"""Source-level transformation framework for hardening passes.
+
+Hardening mechanisms in this project operate on assembly source text
+(our benchmarks are assembly programs): a pass rewrites the source and
+the result is re-assembled.  This mirrors the paper's setting, where
+software-based hardware fault-tolerance is applied to a benchmark as a
+program transformation, and keeps every variant inspectable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from ..isa.assembler import Program, assemble
+
+#: A pass maps assembly source text to assembly source text.
+SourcePass = Callable[[str], str]
+
+
+class TransformError(ValueError):
+    """A hardening pass could not be applied to the given source."""
+
+
+def split_label(line: str) -> tuple[str, str]:
+    """Split ``label:  instr`` into ``("label:", "instr")``.
+
+    Either part may be empty.  Comments are preserved with the
+    instruction part.
+    """
+    stripped = line.lstrip()
+    match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*:)\s*(.*)$", stripped)
+    if match:
+        return match.group(1), match.group(2)
+    return "", stripped
+
+
+def insert_after_label(source: str, label: str,
+                       new_lines: list[str]) -> str:
+    """Insert instructions immediately after ``label:`` in the source.
+
+    Handles both ``label:`` on its own line and ``label: instr`` on one
+    line (the label is detached so the insertion lands between them).
+    Raises :class:`TransformError` if the label does not occur exactly
+    once.
+    """
+    target = f"{label}:"
+    out: list[str] = []
+    hits = 0
+    for line in source.splitlines():
+        head, rest = split_label(line)
+        if head == target:
+            hits += 1
+            out.append(f"{target}")
+            out.extend(new_lines)
+            if rest.strip():
+                out.append(f"        {rest}")
+        else:
+            out.append(line)
+    if hits != 1:
+        raise TransformError(
+            f"label {label!r} occurs {hits} times, expected exactly once")
+    return "\n".join(out) + "\n"
+
+
+def append_to_data_segment(source: str, new_lines: list[str]) -> str:
+    """Append directives to the end of the (single) ``.data`` segment.
+
+    If the source has no data segment, one is created before ``.text``.
+    """
+    lines = source.splitlines()
+    data_starts = [i for i, line in enumerate(lines)
+                   if line.strip().startswith(".data")]
+    if len(data_starts) > 1:
+        raise TransformError("source has multiple .data segments")
+    if not data_starts:
+        text_starts = [i for i, line in enumerate(lines)
+                       if line.strip().startswith(".text")]
+        if not text_starts:
+            raise TransformError("source has neither .data nor .text")
+        insert_at = text_starts[0]
+        block = ["        .data"] + new_lines
+        return "\n".join(lines[:insert_at] + block + lines[insert_at:]) + "\n"
+    # Find where the data segment ends (next .text or EOF).
+    start = data_starts[0]
+    end = len(lines)
+    for i in range(start + 1, len(lines)):
+        if lines[i].strip().startswith(".text"):
+            end = i
+            break
+    return "\n".join(lines[:end] + new_lines + lines[end:]) + "\n"
+
+
+@dataclass(frozen=True)
+class HardeningPass:
+    """A named, documented hardening transformation."""
+
+    name: str
+    description: str
+    transform: SourcePass
+
+    def apply(self, source: str) -> str:
+        return self.transform(source)
+
+    def apply_to_program(self, program: Program, *,
+                         suffix: str | None = None,
+                         ram_size: int | None = None) -> Program:
+        """Re-assemble ``program`` with this pass applied.
+
+        The variant is named ``<original>-<suffix>`` (suffix defaults to
+        the pass name) so campaign results stay distinguishable.
+        """
+        new_source = self.apply(program.source)
+        return assemble(
+            new_source,
+            name=f"{program.name}-{suffix or self.name}",
+            ram_size=program.ram_size if ram_size is None else ram_size,
+        )
+
+
+def compose(*passes: HardeningPass) -> HardeningPass:
+    """Compose passes left to right into a single pass."""
+    if not passes:
+        raise ValueError("compose needs at least one pass")
+
+    def run_all(source: str) -> str:
+        for p in passes:
+            source = p.apply(source)
+        return source
+
+    return HardeningPass(
+        name="+".join(p.name for p in passes),
+        description="; then ".join(p.description for p in passes),
+        transform=run_all,
+    )

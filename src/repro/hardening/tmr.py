@@ -1,0 +1,83 @@
+"""Triple modular redundancy for static words — an extension mechanism.
+
+Not part of the paper's data set, but a second, structurally different
+software fault-tolerance mechanism: every protected word is stored three
+times; reads vote out a corrupted copy, writes refresh all three.  Used
+by the ablation benchmarks to show that the paper's comparison metric
+ranks *any* mechanism by its true failure-count effect, regardless of
+how the mechanism works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..campaign.outcomes import CORRECTED_CODE
+from .checksum import WORD
+
+
+@dataclass(frozen=True)
+class TmrWord:
+    """A statically allocated triplicated 32-bit word."""
+
+    name: str
+
+    @property
+    def size_bytes(self) -> int:
+        return 3 * WORD
+
+    def copy(self, index: int) -> str:
+        if not 0 <= index < 3:
+            raise IndexError("TMR has exactly three copies")
+        return self.name if index == 0 else f"{self.name}+{index * WORD}"
+
+
+class TmrEmitter:
+    """Emits data layout and inline voting code for TMR words.
+
+    Emitted code clobbers r10–r12 (within the project's r10–r13 scratch
+    convention) and leaves the voted value in ``dest``.
+    """
+
+    def __init__(self, *, corrected_code: int = CORRECTED_CODE):
+        self.corrected_code = corrected_code
+        self._label_counter = 0
+
+    def data_lines(self, word: TmrWord, init: int) -> list[str]:
+        value = init & 0xFFFFFFFF
+        return [f"{word.name}: .word {value}, {value}, {value}"]
+
+    def emit_store(self, word: TmrWord, src: str = "r10") -> list[str]:
+        """Write ``src`` to all three copies."""
+        return [f"        sw   {src}, {word.copy(i)}(zero)"
+                for i in range(3)]
+
+    def emit_load(self, word: TmrWord, dest: str = "r10") -> list[str]:
+        """Majority-vote read into ``dest`` with in-place repair.
+
+        Copy A and B agree on the fast path (3 cycles); otherwise the
+        third copy breaks the tie, the odd copy is rewritten and a
+        corrected-error detection is signalled.
+        """
+        if dest in ("r11", "r12"):
+            raise ValueError("dest collides with voting scratch registers")
+        k = self._label_counter
+        self._label_counter += 1
+        ok = f"__tmr{k}_ok"
+        fix_b = f"__tmr{k}_fixb"
+        return [
+            f"        lw   {dest}, {word.copy(0)}(zero)",
+            f"        lw   r11, {word.copy(1)}(zero)",
+            f"        beq  {dest}, r11, {ok}",
+            f"        lw   r12, {word.copy(2)}(zero)",
+            f"        beq  {dest}, r12, {fix_b}",
+            # A is the odd one out (B == C under the single-fault model).
+            f"        addi {dest}, r11, 0",
+            f"        sw   {dest}, {word.copy(0)}(zero)",
+            f"        detect {self.corrected_code}",
+            f"        j    {ok}",
+            f"{fix_b}:",
+            f"        sw   {dest}, {word.copy(1)}(zero)",
+            f"        detect {self.corrected_code}",
+            f"{ok}:",
+        ]

@@ -1,0 +1,67 @@
+"""Deterministic RISC machine substrate: ISA, assembler, CPU, tracing.
+
+This package implements the paper's machine model (Section II-C): a
+simple in-order RISC CPU with one cycle per instruction, executing from
+fault-immune ROM, with a flat byte-addressable RAM as the fault space.
+"""
+
+from .assembler import Assembler, Program, assemble, DEFAULT_RAM_SIZE
+from .cpu import Machine, MachineState
+from .errors import (
+    AlignmentFault,
+    ArithmeticTrap,
+    AssemblyError,
+    CPUException,
+    HaltedMachine,
+    IllegalInstruction,
+    IllegalPC,
+    IsaError,
+    MemoryFault,
+)
+from .isa import (
+    ACCESS_WIDTH,
+    Instruction,
+    LINK_REG,
+    LOAD_OPS,
+    NUM_REGS,
+    Op,
+    STACK_REG,
+    STORE_OPS,
+    signed8,
+    signed16,
+    signed32,
+)
+from .tracing import AccessEvent, MemoryTrace, READ, WRITE
+
+__all__ = [
+    "ACCESS_WIDTH",
+    "AccessEvent",
+    "AlignmentFault",
+    "ArithmeticTrap",
+    "Assembler",
+    "AssemblyError",
+    "CPUException",
+    "DEFAULT_RAM_SIZE",
+    "HaltedMachine",
+    "IllegalInstruction",
+    "IllegalPC",
+    "Instruction",
+    "IsaError",
+    "LINK_REG",
+    "LOAD_OPS",
+    "Machine",
+    "MachineState",
+    "MemoryFault",
+    "MemoryTrace",
+    "NUM_REGS",
+    "Op",
+    "Program",
+    "READ",
+    "STACK_REG",
+    "STORE_OPS",
+    "WRITE",
+    "assemble",
+    "signed16",
+    "signed32",
+    "signed8",
+]

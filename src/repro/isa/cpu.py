@@ -1,0 +1,415 @@
+"""The deterministic machine: CPU interpreter, RAM, and devices.
+
+This implements the paper's machine model (Section II-C):
+
+* a simple in-order RISC CPU, one cycle per instruction;
+* no caches — a flat, wait-free RAM is the only fault-susceptible state;
+* the program executes from ROM, which is immune to faults;
+* runs are fully deterministic, can be paused at any instruction boundary
+  (to flip a memory bit) and resumed.
+
+Timing convention used throughout the project: after ``n`` calls to
+:meth:`Machine.step`, ``machine.cycle == n``.  *Injection slot* ``t``
+(1-based) denotes the instant right before the ``t``-th instruction
+executes; injecting at slot ``t`` therefore means running to
+``cycle == t - 1``, flipping a bit, and resuming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .assembler import Program
+from .errors import (
+    AlignmentFault,
+    ArithmeticTrap,
+    HaltedMachine,
+    IllegalPC,
+    MemoryFault,
+)
+from .isa import Instruction, NUM_REGS, Op, WORD_MASK, signed32
+from .tracing import MemoryTrace, READ, WRITE
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """A snapshot of all mutable machine state.
+
+    Snapshots are cheap (one bytearray copy) and power the campaign
+    runner's fork-at-injection-slot fast-forward optimization.
+    """
+
+    ram: bytes
+    regs: tuple
+    pc: int
+    cycle: int
+    halted: bool
+    serial: bytes
+    detections: tuple
+    diverged: bool = False
+
+
+class Machine:
+    """A machine instance executing one :class:`Program`.
+
+    Public attributes (all deterministic functions of the program and the
+    faults injected so far):
+
+    ``ram``
+        The byte-addressable main memory — the fault space.
+    ``regs``
+        16 general-purpose registers; ``regs[0]`` reads as zero.
+    ``pc`` / ``cycle``
+        Current ROM index and number of instructions executed.
+    ``serial``
+        Bytes written by ``out`` so far — the observable output.
+    ``detections``
+        ``(cycle, code)`` pairs recorded by ``detect`` — the hook used by
+        hardened programs to report corrected errors.
+    """
+
+    def __init__(self, program: Program, *,
+                 tracer: MemoryTrace | None = None,
+                 oracle: bytes | None = None):
+        self.program = program
+        self.rom: list[Instruction] = program.rom
+        self.tracer = tracer
+        #: Expected serial output.  When set, the machine halts with
+        #: ``diverged = True`` on the first output byte that deviates —
+        #: a diverged run can never be benign again, so campaign
+        #: executors use this to cut post-injection tails short.
+        self.oracle = oracle
+        self._dispatch = self._build_dispatch()
+        # Pre-bind (handler, instruction) per ROM slot: saves the enum
+        # indexing on the hot path (campaigns execute hundreds of
+        # millions of instructions).
+        self._exec = [(self._dispatch[i.op], i) for i in self.rom]
+        self.reset()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset to the initial state: RAM holds the data image."""
+        program = self.program
+        self.ram = bytearray(program.ram_size)
+        self.ram[: len(program.data)] = program.data
+        self.regs = [0] * NUM_REGS
+        self.pc = program.entry
+        self.cycle = 0
+        self.halted = False
+        self.diverged = False
+        self.serial = bytearray()
+        self.detections: list[tuple[int, int]] = []
+
+    def snapshot(self) -> MachineState:
+        """Capture all mutable state for later :meth:`restore`."""
+        return MachineState(
+            ram=bytes(self.ram),
+            regs=tuple(self.regs),
+            pc=self.pc,
+            cycle=self.cycle,
+            halted=self.halted,
+            serial=bytes(self.serial),
+            detections=tuple(self.detections),
+            diverged=self.diverged,
+        )
+
+    def restore(self, state: MachineState) -> None:
+        """Restore a snapshot previously taken from this program."""
+        self.ram = bytearray(state.ram)
+        self.regs = list(state.regs)
+        self.pc = state.pc
+        self.cycle = state.cycle
+        self.halted = state.halted
+        self.diverged = state.diverged
+        self.serial = bytearray(state.serial)
+        self.detections = list(state.detections)
+
+    # -- fault injection -----------------------------------------------------
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Flip one RAM bit — the transient single-bit fault of the model."""
+        if not 0 <= addr < len(self.ram):
+            raise ValueError(f"flip address {addr:#x} outside RAM")
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index {bit} out of range")
+        self.ram[addr] ^= 1 << bit
+
+    def flip_register_bit(self, reg: int, bit: int) -> None:
+        """Flip one register-file bit (Section VI-B fault model).
+
+        r0 is hardwired to zero and cannot hold a fault.
+        """
+        if not 1 <= reg < NUM_REGS:
+            raise ValueError(f"register r{reg} cannot hold a fault")
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit index {bit} out of range")
+        self.regs[reg] ^= 1 << bit
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one instruction (one cycle).
+
+        Raises a :class:`~repro.isa.errors.CPUException` subclass if the
+        instruction traps; the machine is halted in that case.
+        """
+        if self.halted:
+            raise HaltedMachine("machine is halted")
+        pc = self.pc
+        exec_rom = self._exec
+        if not 0 <= pc < len(exec_rom):
+            if pc == len(exec_rom):
+                # Falling off the end of ROM is a clean halt (an implicit
+                # exit stub); it consumes no cycle, so a program without
+                # an explicit ``halt`` runs for exactly len(rom)
+                # straight-line cycles.
+                self.halted = True
+                return
+            self.halted = True
+            raise IllegalPC(f"pc {pc} outside ROM", pc=pc, cycle=self.cycle)
+        handler, instr = exec_rom[pc]
+        self.pc = pc + 1
+        try:
+            handler(instr)
+        except HaltedMachine:
+            raise
+        except Exception:
+            self.halted = True
+            raise
+        self.cycle += 1
+
+    def run(self, max_cycles: int) -> None:
+        """Run until ``halt``, a trap, or the cycle budget is exhausted.
+
+        Traps propagate to the caller; reaching ``max_cycles`` without
+        halting simply returns (the campaign layer treats it as timeout).
+        """
+        step = self.step
+        while not self.halted and self.cycle < max_cycles:
+            step()
+
+    def run_to_cycle(self, target_cycle: int) -> None:
+        """Run until exactly ``target_cycle`` instructions have executed.
+
+        Used to position the machine at an injection slot: to inject at
+        slot ``t``, run to cycle ``t - 1``.  Raises ``ValueError`` when
+        asked to run backwards.
+        """
+        if target_cycle < self.cycle:
+            raise ValueError(
+                f"cannot run backwards: at cycle {self.cycle}, "
+                f"target {target_cycle}")
+        step = self.step
+        while not self.halted and self.cycle < target_cycle:
+            step()
+
+    # -- memory --------------------------------------------------------------
+
+    def _load(self, addr: int, width: int) -> int:
+        if addr % width:
+            raise AlignmentFault(
+                f"unaligned {width}-byte load at {addr:#x}",
+                pc=self.pc - 1, cycle=self.cycle)
+        if not 0 <= addr <= len(self.ram) - width:
+            raise MemoryFault(
+                f"load of {width} bytes at {addr:#x} outside RAM",
+                pc=self.pc - 1, cycle=self.cycle)
+        if self.tracer is not None:
+            self.tracer.record(self.cycle + 1, addr, width, READ)
+        return int.from_bytes(self.ram[addr: addr + width], "little")
+
+    def _store(self, addr: int, width: int, value: int) -> None:
+        if addr % width:
+            raise AlignmentFault(
+                f"unaligned {width}-byte store at {addr:#x}",
+                pc=self.pc - 1, cycle=self.cycle)
+        if not 0 <= addr <= len(self.ram) - width:
+            raise MemoryFault(
+                f"store of {width} bytes at {addr:#x} outside RAM",
+                pc=self.pc - 1, cycle=self.cycle)
+        if self.tracer is not None:
+            self.tracer.record(self.cycle + 1, addr, width, WRITE)
+        self.ram[addr: addr + width] = value.to_bytes(width, "little")
+
+    # -- instruction semantics ------------------------------------------------
+
+    def _build_dispatch(self):
+        table = [None] * len(Op)
+        for op in Op:
+            table[op] = getattr(self, f"_op_{op.name.lower()}")
+        return table
+
+    def _set(self, rd: int, value: int) -> None:
+        if rd:
+            self.regs[rd] = value & WORD_MASK
+
+    # R-type
+
+    def _op_add(self, i):
+        self._set(i.rd, self.regs[i.rs1] + self.regs[i.rs2])
+
+    def _op_sub(self, i):
+        self._set(i.rd, self.regs[i.rs1] - self.regs[i.rs2])
+
+    def _op_and(self, i):
+        self._set(i.rd, self.regs[i.rs1] & self.regs[i.rs2])
+
+    def _op_or(self, i):
+        self._set(i.rd, self.regs[i.rs1] | self.regs[i.rs2])
+
+    def _op_xor(self, i):
+        self._set(i.rd, self.regs[i.rs1] ^ self.regs[i.rs2])
+
+    def _op_sll(self, i):
+        self._set(i.rd, self.regs[i.rs1] << (self.regs[i.rs2] & 31))
+
+    def _op_srl(self, i):
+        self._set(i.rd, self.regs[i.rs1] >> (self.regs[i.rs2] & 31))
+
+    def _op_sra(self, i):
+        self._set(i.rd, signed32(self.regs[i.rs1]) >> (self.regs[i.rs2] & 31))
+
+    def _op_slt(self, i):
+        self._set(i.rd,
+                  int(signed32(self.regs[i.rs1]) < signed32(self.regs[i.rs2])))
+
+    def _op_sltu(self, i):
+        self._set(i.rd, int(self.regs[i.rs1] < self.regs[i.rs2]))
+
+    def _op_mul(self, i):
+        self._set(i.rd, self.regs[i.rs1] * self.regs[i.rs2])
+
+    def _op_divu(self, i):
+        divisor = self.regs[i.rs2]
+        if divisor == 0:
+            raise ArithmeticTrap("division by zero", pc=self.pc - 1,
+                                 cycle=self.cycle)
+        self._set(i.rd, self.regs[i.rs1] // divisor)
+
+    def _op_remu(self, i):
+        divisor = self.regs[i.rs2]
+        if divisor == 0:
+            raise ArithmeticTrap("remainder by zero", pc=self.pc - 1,
+                                 cycle=self.cycle)
+        self._set(i.rd, self.regs[i.rs1] % divisor)
+
+    # I-type
+
+    def _op_addi(self, i):
+        self._set(i.rd, self.regs[i.rs1] + i.imm)
+
+    def _op_andi(self, i):
+        self._set(i.rd, self.regs[i.rs1] & (i.imm & WORD_MASK))
+
+    def _op_ori(self, i):
+        self._set(i.rd, self.regs[i.rs1] | (i.imm & WORD_MASK))
+
+    def _op_xori(self, i):
+        self._set(i.rd, self.regs[i.rs1] ^ (i.imm & WORD_MASK))
+
+    def _op_slli(self, i):
+        self._set(i.rd, self.regs[i.rs1] << i.imm)
+
+    def _op_srli(self, i):
+        self._set(i.rd, self.regs[i.rs1] >> i.imm)
+
+    def _op_srai(self, i):
+        self._set(i.rd, signed32(self.regs[i.rs1]) >> i.imm)
+
+    def _op_slti(self, i):
+        self._set(i.rd, int(signed32(self.regs[i.rs1]) < i.imm))
+
+    def _op_sltiu(self, i):
+        self._set(i.rd, int(self.regs[i.rs1] < (i.imm & WORD_MASK)))
+
+    def _op_lui(self, i):
+        self._set(i.rd, i.imm << 16)
+
+    # Loads/stores
+
+    def _op_lw(self, i):
+        self._set(i.rd, self._load(self.regs[i.rs1] + i.imm, 4))
+
+    def _op_lh(self, i):
+        value = self._load(self.regs[i.rs1] + i.imm, 2)
+        if value & 0x8000:
+            value -= 1 << 16
+        self._set(i.rd, value)
+
+    def _op_lhu(self, i):
+        self._set(i.rd, self._load(self.regs[i.rs1] + i.imm, 2))
+
+    def _op_lb(self, i):
+        value = self._load(self.regs[i.rs1] + i.imm, 1)
+        if value & 0x80:
+            value -= 1 << 8
+        self._set(i.rd, value)
+
+    def _op_lbu(self, i):
+        self._set(i.rd, self._load(self.regs[i.rs1] + i.imm, 1))
+
+    def _op_sw(self, i):
+        self._store(self.regs[i.rs1] + i.imm, 4, self.regs[i.rs2])
+
+    def _op_sh(self, i):
+        self._store(self.regs[i.rs1] + i.imm, 2, self.regs[i.rs2] & 0xFFFF)
+
+    def _op_sb(self, i):
+        self._store(self.regs[i.rs1] + i.imm, 1, self.regs[i.rs2] & 0xFF)
+
+    # Control
+
+    def _op_beq(self, i):
+        if self.regs[i.rs1] == self.regs[i.rs2]:
+            self.pc = i.imm
+
+    def _op_bne(self, i):
+        if self.regs[i.rs1] != self.regs[i.rs2]:
+            self.pc = i.imm
+
+    def _op_blt(self, i):
+        if signed32(self.regs[i.rs1]) < signed32(self.regs[i.rs2]):
+            self.pc = i.imm
+
+    def _op_bge(self, i):
+        if signed32(self.regs[i.rs1]) >= signed32(self.regs[i.rs2]):
+            self.pc = i.imm
+
+    def _op_bltu(self, i):
+        if self.regs[i.rs1] < self.regs[i.rs2]:
+            self.pc = i.imm
+
+    def _op_bgeu(self, i):
+        if self.regs[i.rs1] >= self.regs[i.rs2]:
+            self.pc = i.imm
+
+    def _op_jal(self, i):
+        self._set(i.rd, self.pc)  # pc already advanced to return index
+        self.pc = i.imm
+
+    def _op_jalr(self, i):
+        target = (self.regs[i.rs1] + i.imm) & WORD_MASK
+        self._set(i.rd, self.pc)
+        self.pc = target
+
+    # System
+
+    def _op_out(self, i):
+        byte = self.regs[i.rs1] & 0xFF
+        self.serial.append(byte)
+        oracle = self.oracle
+        if oracle is not None:
+            n = len(self.serial)
+            if n > len(oracle) or oracle[n - 1] != byte:
+                self.diverged = True
+                self.halted = True
+
+    def _op_detect(self, i):
+        self.detections.append((self.cycle + 1, i.imm))
+
+    def _op_halt(self, i):
+        self.halted = True
+
+    def _op_nop(self, i):
+        pass

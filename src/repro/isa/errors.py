@@ -1,0 +1,97 @@
+"""Exception hierarchy for the ISA emulator.
+
+Two families of errors exist:
+
+* :class:`AssemblyError` — raised while assembling source text; these are
+  programming errors in benchmark code and never occur at run time.
+* :class:`CPUException` — raised by the CPU while executing a program.
+  During fault-injection campaigns these are *expected* outcomes (a bit
+  flip may corrupt a pointer or a divisor) and are mapped to the
+  ``CPU_EXCEPTION`` failure mode by the campaign layer.
+"""
+
+from __future__ import annotations
+
+
+class IsaError(Exception):
+    """Base class for all errors raised by :mod:`repro.isa`."""
+
+
+class AssemblyError(IsaError):
+    """An error in assembly source text (bad mnemonic, label, operand...).
+
+    Carries the source line number when available so benchmark authors can
+    locate the offending line.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None):
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+class CPUException(IsaError):
+    """Base class for run-time traps raised by the CPU.
+
+    Every trap records the cycle at which it occurred and the program
+    counter of the faulting instruction, which campaign code uses for
+    failure-mode diagnostics.
+    """
+
+    #: Short machine-readable trap name, overridden by subclasses.
+    trap_name = "trap"
+
+    def __init__(self, message: str, *, pc: int | None = None,
+                 cycle: int | None = None):
+        self.pc = pc
+        self.cycle = cycle
+        super().__init__(message)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        where = []
+        if self.pc is not None:
+            where.append(f"pc={self.pc}")
+        if self.cycle is not None:
+            where.append(f"cycle={self.cycle}")
+        if where:
+            return f"{base} ({', '.join(where)})"
+        return base
+
+
+class MemoryFault(CPUException):
+    """A data-memory access outside the machine's RAM."""
+
+    trap_name = "memory-fault"
+
+
+class AlignmentFault(CPUException):
+    """A word or halfword access to an unaligned address."""
+
+    trap_name = "alignment-fault"
+
+
+class IllegalPC(CPUException):
+    """The program counter left the ROM (e.g. a corrupted return address)."""
+
+    trap_name = "illegal-pc"
+
+
+class IllegalInstruction(CPUException):
+    """An instruction that cannot be executed (should not happen from ROM,
+
+    but kept for completeness and for hand-constructed programs).
+    """
+
+    trap_name = "illegal-instruction"
+
+
+class ArithmeticTrap(CPUException):
+    """Division or remainder by zero."""
+
+    trap_name = "arithmetic-trap"
+
+
+class HaltedMachine(IsaError):
+    """An attempt to step a machine that has already halted."""

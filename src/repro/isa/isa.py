@@ -1,0 +1,141 @@
+"""Instruction-set definition for the simple RISC machine.
+
+The machine follows the paper's model (Section II-C): a classic in-order
+RISC CPU, one cycle per instruction, executing from fault-immune ROM, with
+a single flat byte-addressable RAM as the only fault-susceptible state.
+
+The instruction set is a small RV32I-flavoured load/store ISA:
+
+* 16 general-purpose 32-bit registers ``r0``–``r15``; ``r0`` is hardwired
+  to zero (writes to it are discarded).  By software convention ``r14`` is
+  the link register (``ra``) and ``r15`` the stack pointer (``sp``); the
+  assembler accepts the aliases ``ra``/``sp``/``zero``.
+* Register-register ALU ops, register-immediate ALU ops, word/half/byte
+  loads and stores, conditional branches, ``jal``/``jalr``, and a few
+  system instructions (``out``, ``detect``, ``halt``, ``nop``).
+
+``out`` writes the low byte of a register to the serial port — the
+observable benchmark output compared against the golden run.  ``detect``
+signals that a software fault-tolerance mechanism detected (and possibly
+corrected) an error; it feeds the "Detected & Corrected" outcome type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Op(enum.IntEnum):
+    """Opcodes. The integer values index the CPU's dispatch table."""
+
+    # R-type: rd <- rs1 op rs2
+    ADD = 0
+    SUB = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SRA = enum.auto()
+    SLT = enum.auto()
+    SLTU = enum.auto()
+    MUL = enum.auto()
+    DIVU = enum.auto()
+    REMU = enum.auto()
+    # I-type: rd <- rs1 op imm
+    ADDI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SRAI = enum.auto()
+    SLTI = enum.auto()
+    SLTIU = enum.auto()
+    LUI = enum.auto()
+    # Memory: loads rd <- mem[rs1+imm], stores mem[rs1+imm] <- rs2
+    LW = enum.auto()
+    LH = enum.auto()
+    LHU = enum.auto()
+    LB = enum.auto()
+    LBU = enum.auto()
+    SW = enum.auto()
+    SH = enum.auto()
+    SB = enum.auto()
+    # Control: branches compare rs1,rs2 and jump to imm (absolute ROM index)
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    BLTU = enum.auto()
+    BGEU = enum.auto()
+    JAL = enum.auto()   # rd <- pc+1 ; pc <- imm
+    JALR = enum.auto()  # rd <- pc+1 ; pc <- rs1 + imm
+    # System
+    OUT = enum.auto()     # serial output: low byte of rs1
+    DETECT = enum.auto()  # fault-tolerance detection event, code in imm
+    HALT = enum.auto()
+    NOP = enum.auto()
+
+
+#: Opcodes that read from data memory.
+LOAD_OPS = frozenset({Op.LW, Op.LH, Op.LHU, Op.LB, Op.LBU})
+#: Opcodes that write to data memory.
+STORE_OPS = frozenset({Op.SW, Op.SH, Op.SB})
+#: Bytes touched by each memory opcode.
+ACCESS_WIDTH = {
+    Op.LW: 4, Op.SW: 4,
+    Op.LH: 2, Op.LHU: 2, Op.SH: 2,
+    Op.LB: 1, Op.LBU: 1, Op.SB: 1,
+}
+
+#: Number of general-purpose registers.
+NUM_REGS = 16
+#: Register aliases accepted by the assembler.
+REG_ALIASES = {"zero": 0, "ra": 14, "sp": 15}
+#: Link register used by the ``call`` pseudo-instruction.
+LINK_REG = 14
+#: Stack pointer by software convention.
+STACK_REG = 15
+
+WORD_MASK = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction stored in ROM.
+
+    ``imm`` holds, depending on the opcode, an ALU immediate, a load/store
+    offset, an absolute branch/jump target (ROM index), or a detection
+    code.  ``text`` preserves the source line for diagnostics and
+    disassembly.
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    text: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        return self.text or self.op.name.lower()
+
+
+def signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a two's-complement int."""
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def signed16(value: int) -> int:
+    """Interpret the low 16 bits of ``value`` as a two's-complement int."""
+    value &= 0xFFFF
+    return value - (1 << 16) if value & 0x8000 else value
+
+
+def signed8(value: int) -> int:
+    """Interpret the low 8 bits of ``value`` as a two's-complement int."""
+    value &= 0xFF
+    return value - (1 << 8) if value & 0x80 else value

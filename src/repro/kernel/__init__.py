@@ -1,0 +1,15 @@
+"""Cooperative threading kernel substrate (the eCos-analog)."""
+
+from .builder import (
+    DEFAULT_STACK_BYTES,
+    KernelBuildError,
+    KernelBuilder,
+    TCB_WORDS,
+)
+
+__all__ = [
+    "DEFAULT_STACK_BYTES",
+    "KernelBuildError",
+    "KernelBuilder",
+    "TCB_WORDS",
+]

@@ -1,0 +1,97 @@
+"""The fault-coverage metric — implemented faithfully, flagged as unsound.
+
+Fault coverage (Bouricius et al., Equation 2 of the paper) is::
+
+    c = 1 - P(Failure | 1 Fault) = 1 - F / N
+
+The paper's central result (Section IV/V) is that this metric is *unfit
+for comparing different programs*: ``N`` depends on each variant's own
+runtime and memory usage, so overheads dilute the denominator.  The
+library still implements it — reproducing the paper requires computing
+the misleading numbers — but the docstrings and the comparison API make
+the unsoundness explicit.
+
+Three variants are provided, matching the practices found in the wild:
+
+* :func:`weighted_coverage` — the correct *instantiation* of the metric
+  under def/use pruning (Pitfall 1 avoided): F and N are expanded to the
+  raw fault space, N = w.
+* :func:`unweighted_coverage` — the Pitfall 1 anti-pattern: conducted
+  experiments are counted without class weights.
+* :func:`activated_only_coverage` — the Barbosa-style restriction that
+  excludes never-activated faults from N (discussed and rejected in
+  Section IV-B: DFT′ shows it is no safeguard).
+"""
+
+from __future__ import annotations
+
+from ..campaign.database import CampaignSummary
+from ..campaign.runner import CampaignResult, SamplingResult
+
+
+def _failures(counts) -> int:
+    return sum(n for outcome, n in counts.items() if outcome.is_failure)
+
+
+def _as_summary(result) -> CampaignSummary:
+    if isinstance(result, CampaignSummary):
+        return result
+    if isinstance(result, CampaignResult):
+        return CampaignSummary.from_result(result)
+    raise TypeError(f"expected campaign result or summary, got {result!r}")
+
+
+def coverage_from_counts(failures: int, population: int) -> float:
+    """c = 1 - F/N for explicit counts."""
+    if population <= 0:
+        raise ValueError("population must be positive")
+    if not 0 <= failures <= population:
+        raise ValueError("failures must be within [0, population]")
+    return 1.0 - failures / population
+
+
+def weighted_coverage(result) -> float:
+    """Fault coverage with def/use weighting (Pitfall 1 avoided).
+
+    F is the weighted failure count; N is the full fault-space size w.
+    Correct as a *single-program* figure under the uniform fault model —
+    but still not comparable across programs (Pitfall 3).
+    """
+    summary = _as_summary(result)
+    return coverage_from_counts(_failures(summary.weighted()),
+                                summary.fault_space_size)
+
+
+def unweighted_coverage(result) -> float:
+    """Fault coverage computed the Pitfall 1 way (for demonstration).
+
+    Counts conducted experiments only: F and N ignore the def/use class
+    sizes, silently re-weighting the fault model toward short-lived data.
+    """
+    summary = _as_summary(result)
+    return coverage_from_counts(_failures(summary.raw()),
+                                summary.experiments)
+
+
+def activated_only_coverage(result) -> float:
+    """Coverage over activated faults only (Section IV-B restriction).
+
+    N excludes all a-priori-known "No Effect" coordinates (dead def/use
+    classes), i.e. N = w′.  The paper shows this restriction does not
+    rescue the metric: DFT′ re-inflates coverage with dummy loads.
+    """
+    summary = _as_summary(result)
+    population = summary.fault_space_size - summary.known_no_effect_weight
+    return coverage_from_counts(_failures(summary.weighted()), population)
+
+
+def sampled_coverage(result: SamplingResult) -> float:
+    """Coverage estimated from a sampled campaign: 1 - F_sampled/N_sampled.
+
+    Statistically sound as an estimator of the same (per-program)
+    quantity when the sampler is raw-uniform; a biased sampler (Pitfall
+    2) or cross-program comparison (Pitfall 3) makes it misleading.
+    """
+    if result.n_samples == 0:
+        raise ValueError("no samples")
+    return 1.0 - result.failure_count() / result.n_samples

@@ -1,0 +1,60 @@
+"""Mean Work To Failure (Reis et al.) — a related-work metric.
+
+Section VII discusses MWTF as a metric that *does* capture the
+performance/reliability tradeoff: doubling a program's runtime without
+reducing per-time vulnerability halves its MWTF.  We implement it on top
+of our failure-probability machinery so the discussion section's
+comparison can be demonstrated quantitatively::
+
+    MWTF = work units / expected failures
+         = 1 / (g · F)      for one benchmark run as the work unit,
+
+using P(Failure) ≈ g · F from Section V-A.  Under this formulation the
+MWTF *ranking* of two variants always agrees with the paper's
+failure-count ratio r, because the work unit (one run) is the same for
+baseline and hardened variants.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .failure_counts import FailureCount, failure_count
+from .poisson import PAPER_RATE_PER_BIT_CYCLE
+
+
+def mwtf(result, *, rate: float = PAPER_RATE_PER_BIT_CYCLE,
+         work_units: float = 1.0) -> float:
+    """Mean Work To Failure of one benchmark variant.
+
+    ``result`` is a full-scan or sampling campaign result; ``work_units``
+    is the amount of application-defined work one run accomplishes.
+    Returns ``inf`` for variants with zero observed failures.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if work_units <= 0:
+        raise ValueError("work_units must be positive")
+    count: FailureCount = failure_count(result)
+    if count.total == 0:
+        return math.inf
+    expected_failures_per_run = rate * count.total
+    return work_units / expected_failures_per_run
+
+
+def mwtf_ratio(baseline, hardened, *,
+               rate: float = PAPER_RATE_PER_BIT_CYCLE,
+               work_units: float = 1.0) -> float:
+    """MWTF_hardened / MWTF_baseline — improvement iff > 1.
+
+    With equal work units this is exactly ``1 / r`` for the paper's
+    comparison ratio r, demonstrating the consistency noted in
+    Section VII.
+    """
+    base = mwtf(baseline, rate=rate, work_units=work_units)
+    hard = mwtf(hardened, rate=rate, work_units=work_units)
+    if math.isinf(base):
+        return 0.0 if not math.isinf(hard) else 1.0
+    if math.isinf(hard):
+        return math.inf
+    return hard / base

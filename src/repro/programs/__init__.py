@@ -1,0 +1,22 @@
+"""Benchmark programs: the paper's examples and kernel-test analogs."""
+
+from . import bin_sem2, hi, micro, sync2
+from .registry import (
+    BenchmarkPair,
+    all_programs,
+    hi_variants,
+    micro_programs,
+    paper_pairs,
+)
+
+__all__ = [
+    "BenchmarkPair",
+    "all_programs",
+    "bin_sem2",
+    "hi",
+    "hi_variants",
+    "micro",
+    "micro_programs",
+    "paper_pairs",
+    "sync2",
+]

@@ -1,0 +1,87 @@
+"""The ``bin_sem2`` benchmark analog (eCos binary-semaphore kernel test).
+
+Two threads ping-pong through two binary semaphores, handing a token
+value back and forth and checking it each round — the synchronization
+pattern of the eCos ``bin_sem2`` kernel test.  Each round produces
+deterministic serial output, so any corruption of kernel state (TCBs,
+semaphore counters, the scheduler's current-thread word) or of the
+token surfaces as a failure.
+
+The benchmark's failure weight is dominated by *kernel* data with long
+lifetimes (saved thread contexts between schedules, semaphore words
+alive across the whole run).  The SUM+DMR-hardened variant
+(``hardened()``) protects exactly that data, so — as in the paper's
+Figure 2(e) — its extrapolated absolute failure count *improves* over
+the baseline despite the runtime and memory overhead.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program
+from ..kernel.builder import KernelBuilder
+
+#: Ping-pong rounds per run.
+DEFAULT_ROUNDS = 4
+#: Token increment applied by the echo thread each round.
+ECHO_INCREMENT = 100
+
+
+def _build(*, protect: bool, rounds: int, name: str) -> Program:
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    kb = KernelBuilder(n_threads=2, protect=protect)
+    kb.add_semaphore("s_req", initial=0)
+    kb.add_semaphore("s_ack", initial=0)
+    # The token is the test's critical datum; the hardened configuration
+    # protects it along with the kernel objects (selective protection of
+    # long-lived critical data, as in the paper's SUM+DMR setup).
+    kb.add_word("token", init=0, protected=protect)
+
+    # Thread 0 (main): send round number, wait for the echo, verify.
+    body0 = [
+        f"addi r3, zero, {rounds}",   # rounds remaining
+        "addi r5, zero, 1",           # current round number
+        "t0_loop:",
+        "addi r1, r5, 0",
+        "call token_store",           # token <- round
+        "call s_req_post",            # wake the echo thread
+        "call s_ack_wait",            # wait for its answer
+        "call token_load",            # r1 = echoed token
+        f"addi r6, r5, {ECHO_INCREMENT}",
+        "bne  r1, r6, t0_fail",
+        "li   r7, 'k'",               # per-round success marker
+        "out  r7",
+        "addi r5, r5, 1",
+        "addi r3, r3, -1",
+        "bnez r3, t0_loop",
+        "li   r7, '!'",               # overall success marker
+        "out  r7",
+        "halt",
+        "t0_fail:",
+        "li   r7, 'X'",               # data corruption observed
+        "out  r7",
+        "halt",
+    ]
+    # Thread 1 (echo): increment the token and acknowledge.
+    body1 = [
+        "t1_loop:",
+        "call s_req_wait",
+        "call token_load",
+        f"addi r1, r1, {ECHO_INCREMENT}",
+        "call token_store",
+        "call s_ack_post",
+        "j    t1_loop",
+    ]
+    kb.set_thread_body(0, body0)
+    kb.set_thread_body(1, body1)
+    return kb.build(name)
+
+
+def baseline(rounds: int = DEFAULT_ROUNDS) -> Program:
+    """Unprotected ``bin_sem2`` analog."""
+    return _build(protect=False, rounds=rounds, name="bin_sem2")
+
+
+def hardened(rounds: int = DEFAULT_ROUNDS) -> Program:
+    """SUM+DMR-hardened variant: kernel objects protected."""
+    return _build(protect=True, rounds=rounds, name="bin_sem2-sumdmr")

@@ -1,0 +1,74 @@
+"""The "Hi" benchmark of Section IV (Figure 3) and its DFT variants.
+
+The baseline is the paper's eight-instruction program: it materializes
+``'H'`` and ``'i'``, stores them into the two-byte ``msg`` array, loads
+them back and writes them to the serial port.  Its fault space is
+8 cycles × 16 bits = 128 coordinates, of which exactly 48 fail
+(3 cycles × 8 bits per message byte), giving the paper's
+
+    c_baseline = 1 - 48/128 = 62.5 %.
+
+``dft_variant(4)`` prepends four NOPs: 12 × 16 = 192 coordinates, still
+48 failures — coverage "improves" to 75.0 % although the transformation
+is useless.  ``dft_prime_variant(4)`` uses dummy loads of the message
+bytes instead, defeating the "count only activated faults" restriction
+the same way (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from ..hardening.dft import load_dilution, nop_dilution
+from ..isa.assembler import Program, assemble
+
+#: Exactly the paper's instruction stream: four loads, four stores
+#: (``out`` is the store to the serial device), no explicit halt — the
+#: machine halts by falling off the ROM end, so Δt is exactly 8 cycles.
+HI_SOURCE = """\
+        .data
+msg:    .byte 0, 0
+        .text
+start:  li   r1, 'H'
+        sb   r1, msg(zero)
+        li   r2, 'i'
+        sb   r2, msg+1(zero)
+        lb   r3, msg(zero)
+        out  r3
+        lb   r4, msg+1(zero)
+        out  r4
+"""
+
+#: The two-byte RAM footprint gives the paper's 16-bit memory axis.
+HI_RAM_SIZE = 2
+
+
+def baseline() -> Program:
+    """The eight-cycle, 16-bit "Hi" benchmark of Figure 3(a)."""
+    return assemble(HI_SOURCE, name="hi", ram_size=HI_RAM_SIZE)
+
+
+def dft_variant(nops: int = 4) -> Program:
+    """Figure 3(b): "Dilution Fault Tolerance" — ``nops`` prepended NOPs."""
+    return nop_dilution(nops).apply_to_program(baseline())
+
+
+def dft_prime_variant(loads: int = 4) -> Program:
+    """DFT′: dummy loads of the message bytes instead of NOPs.
+
+    The paper's counter to the "exclude never-activated faults"
+    restriction: the prepended loads activate (and discard) the faults
+    in the padding region.
+    """
+    return load_dilution(loads, ["msg", "msg+1"]).apply_to_program(
+        baseline())
+
+
+def memory_diluted_variant(extra_bytes: int = 2) -> Program:
+    """Spatial dilution: same program, larger never-used RAM footprint.
+
+    Section IV-C: "The DFT could also simply have used more memory for
+    no particular purpose instead of prolonging the benchmark's runtime."
+    """
+    if extra_bytes < 0:
+        raise ValueError("extra_bytes must be non-negative")
+    return assemble(HI_SOURCE, name=f"hi-mem{extra_bytes}",
+                    ram_size=HI_RAM_SIZE + extra_bytes)

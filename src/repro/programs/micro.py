@@ -1,0 +1,125 @@
+"""Single-threaded micro-benchmarks.
+
+Small deterministic programs used by tests (especially the brute-force
+vs. pruned-scan equivalence properties), by examples, and by the
+sampling benchmarks, where full scans of tiny fault spaces provide
+exact ground truth cheaply.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program, assemble
+
+
+def counter(iterations: int = 5) -> Program:
+    """Increment a RAM-resident counter in a loop and print it."""
+    if not 1 <= iterations <= 255:
+        raise ValueError("iterations must fit an output byte")
+    source = f"""\
+        .data
+count:  .word 0
+        .text
+start:  addi r3, zero, {iterations}
+loop:   lw   r1, count(zero)
+        addi r1, r1, 1
+        sw   r1, count(zero)
+        addi r3, r3, -1
+        bnez r3, loop
+        lw   r1, count(zero)
+        out  r1
+        halt
+"""
+    return assemble(source, name=f"counter{iterations}", ram_size=4)
+
+
+def memcopy(length: int = 8) -> Program:
+    """Copy a byte string within RAM and print the copy."""
+    if not 1 <= length <= 26:
+        raise ValueError("length must be in 1..26")
+    text = "".join(chr(ord("a") + i) for i in range(length))
+    source = f"""\
+        .equ LEN, {length}
+        .data
+src:    .ascii "{text}"
+        .align 4
+dst:    .space {length}
+        .text
+start:  addi r3, zero, 0
+copy:   lbu  r1, src(r3)
+        sb   r1, dst(r3)
+        addi r3, r3, 1
+        slti r2, r3, LEN
+        bnez r2, copy
+        addi r3, zero, 0
+print:  lbu  r1, dst(r3)
+        out  r1
+        addi r3, r3, 1
+        slti r2, r3, LEN
+        bnez r2, print
+        halt
+"""
+    # RAM: src + padding + dst.
+    ram = ((length + 3) // 4) * 4 + length
+    return assemble(source, name=f"memcopy{length}", ram_size=ram)
+
+
+def checksum_loop(words: int = 4) -> Program:
+    """Sum a word table and print the low byte of the sum."""
+    if not 1 <= words <= 16:
+        raise ValueError("words must be in 1..16")
+    values = [(i * 37 + 11) & 0xFF for i in range(words)]
+    table = ", ".join(str(v) for v in values)
+    source = f"""\
+        .equ N, {words}
+        .data
+table:  .word {table}
+sum:    .word 0
+        .text
+start:  addi r3, zero, 0
+        addi r2, zero, 0
+acc:    slli r4, r3, 2
+        lw   r1, table(r4)
+        add  r2, r2, r1
+        addi r3, r3, 1
+        slti r4, r3, N
+        bnez r4, acc
+        sw   r2, sum(zero)
+        lw   r1, sum(zero)
+        out  r1
+        halt
+"""
+    return assemble(source, name=f"checksum{words}",
+                    ram_size=4 * words + 4)
+
+
+def stack_echo(depth: int = 3) -> Program:
+    """Push bytes onto a stack region, pop and print them in reverse.
+
+    Exercises load/store through a moving pointer — a useful shape for
+    def/use pruning tests because every stack byte has several
+    generations of defs and uses.
+    """
+    if not 1 <= depth <= 8:
+        raise ValueError("depth must be in 1..8")
+    source = f"""\
+        .equ DEPTH, {depth}
+        .data
+stack:  .space {4 * depth}
+        .text
+start:  li   sp, stack+{4 * depth}
+        addi r3, zero, 0
+push:   addi r1, r3, 'A'
+        addi sp, sp, -4
+        sw   r1, 0(sp)
+        addi r3, r3, 1
+        slti r2, r3, DEPTH
+        bnez r2, push
+pop:    lw   r1, 0(sp)
+        addi sp, sp, 4
+        out  r1
+        addi r3, r3, -1
+        bnez r3, pop
+        halt
+"""
+    return assemble(source, name=f"stack_echo{depth}",
+                    ram_size=4 * depth)

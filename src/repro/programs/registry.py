@@ -1,0 +1,79 @@
+"""Registry of benchmark variants used by examples and the bench harness.
+
+Each entry is a named, parameter-free thunk producing a
+:class:`~repro.isa.assembler.Program`, grouped into baseline/hardened
+pairs where applicable.  The benchmark harness iterates over
+:func:`paper_pairs` to regenerate every Figure 2 series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..isa.assembler import Program
+from . import bin_sem2, hi, micro, sync2
+
+ProgramThunk = Callable[[], Program]
+
+
+@dataclass(frozen=True)
+class BenchmarkPair:
+    """A baseline/hardened pair compared throughout the evaluation."""
+
+    name: str
+    baseline: ProgramThunk
+    hardened: ProgramThunk
+    description: str
+
+
+def paper_pairs() -> list[BenchmarkPair]:
+    """The two benchmark pairs of the paper's Figure 2."""
+    return [
+        BenchmarkPair(
+            name="bin_sem2",
+            baseline=bin_sem2.baseline,
+            hardened=bin_sem2.hardened,
+            description=("binary-semaphore ping-pong kernel test; "
+                         "SUM+DMR protection genuinely improves it"),
+        ),
+        BenchmarkPair(
+            name="sync2",
+            baseline=sync2.baseline,
+            hardened=sync2.hardened,
+            description=("mutex/semaphore/flag producer-consumer kernel "
+                         "test; SUM+DMR overhead makes it worse despite "
+                         "better coverage"),
+        ),
+    ]
+
+
+def hi_variants() -> dict[str, ProgramThunk]:
+    """The Section IV Gedankenexperiment programs."""
+    return {
+        "hi": hi.baseline,
+        "hi-dft4": lambda: hi.dft_variant(4),
+        "hi-dftprime4": lambda: hi.dft_prime_variant(4),
+        "hi-mem2": lambda: hi.memory_diluted_variant(2),
+    }
+
+
+def micro_programs() -> dict[str, ProgramThunk]:
+    """Single-threaded micro-benchmarks for tests and sampling studies."""
+    return {
+        "counter": micro.counter,
+        "memcopy": micro.memcopy,
+        "checksum": micro.checksum_loop,
+        "stack_echo": micro.stack_echo,
+    }
+
+
+def all_programs() -> dict[str, ProgramThunk]:
+    """Every registered program by name."""
+    programs: dict[str, ProgramThunk] = {}
+    programs.update(hi_variants())
+    programs.update(micro_programs())
+    for pair in paper_pairs():
+        programs[pair.name] = pair.baseline
+        programs[f"{pair.name}-sumdmr"] = pair.hardened
+    return programs

@@ -1,0 +1,137 @@
+"""The ``sync2`` benchmark analog (eCos synchronization kernel test).
+
+A producer/consumer pair exercising three synchronization primitives at
+once — a mutex, a counting semaphore and an event flag — over a shared
+message buffer:
+
+* thread 0 (producer/verifier) fills the buffer under the mutex,
+  posting the item semaphore per element; it then blocks on the
+  "consumer done" flag and finally re-reads and verifies the *entire*
+  buffer and the consumer's accumulator before printing the verdict;
+* thread 1 (consumer) consumes each item under the mutex and folds it
+  into an accumulator word, then sets the done flag.
+
+The buffer and the accumulator are *application* data and stay
+unprotected in both variants (the SUM+DMR mechanism hardens critical
+kernel data); because the verifier re-reads them at the very end of the
+run, their failure weight grows with the benchmark runtime.  The
+hardened variant pays heavy kernel-object protection overhead on every
+one of the many synchronization operations, inflating Δt — which is
+exactly the paper's sync2 story (Figure 2(e)/(g)): weighted fault
+*coverage* improves while the extrapolated absolute failure count
+*worsens* severely.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program
+from ..kernel.builder import KernelBuilder
+
+#: Items passed from producer to consumer per run.
+DEFAULT_ITEMS = 10
+#: Value stored for item ``i`` (0-based) is ``(i + 1) * VALUE_STEP``.
+VALUE_STEP = 7
+#: Flag bit the consumer raises when it is done.
+DONE_BIT = 1
+
+
+def expected_accumulator(items: int) -> int:
+    """Sum the consumer accumulates over a fault-free run."""
+    return VALUE_STEP * items * (items + 1) // 2
+
+
+def _build(*, protect: bool, items: int, name: str) -> Program:
+    if items < 1:
+        raise ValueError("need at least one item")
+    kb = KernelBuilder(n_threads=2, protect=protect)
+    kb.add_mutex("mtx")
+    kb.add_semaphore("s_items", initial=0)
+    # Bounded handoff: the producer needs a free slot credit per item,
+    # which the consumer returns — the classic producer/consumer chain
+    # that forces the two threads to interleave through the scheduler.
+    kb.add_semaphore("s_space", initial=1)
+    kb.add_flag("f_done")
+    kb.add_buffer("buf", n_words=items)   # application data: unprotected
+    kb.add_word("acc", init=0)            # application data: unprotected
+
+    body0 = [
+        f"addi r3, zero, {items}",
+        "addi r5, zero, 0",             # index
+        "p_loop:",
+        "call s_space_wait",
+        "call mtx_lock",
+        "addi r1, r5, 0",
+        "addi r6, r5, 1",
+        f"addi r7, zero, {VALUE_STEP}",
+        "mul  r2, r6, r7",              # value = (i+1) * step
+        "call buf_put",
+        "call mtx_unlock",
+        "call s_items_post",
+        "li   r7, 'p'",
+        "out  r7",
+        "addi r5, r5, 1",
+        "addi r3, r3, -1",
+        "bnez r3, p_loop",
+        # Wait until the consumer signals completion.
+        f"addi r1, zero, {DONE_BIT}",
+        "call f_done_wait",
+        # Verify every buffer cell (long-lifetime final reads).
+        "addi r5, zero, 0",
+        f"addi r3, zero, {items}",
+        "v_loop:",
+        "addi r1, r5, 0",
+        "call buf_get",
+        "addi r6, r5, 1",
+        f"addi r7, zero, {VALUE_STEP}",
+        "mul  r6, r6, r7",
+        "bne  r1, r6, v_fail",
+        "addi r5, r5, 1",
+        "addi r3, r3, -1",
+        "bnez r3, v_loop",
+        # Verify the accumulator.
+        "call acc_load",
+        f"li   r6, {expected_accumulator(items)}",
+        "bne  r1, r6, v_fail",
+        "li   r7, '!'",
+        "out  r7",
+        "halt",
+        "v_fail:",
+        "li   r7, 'X'",
+        "out  r7",
+        "halt",
+    ]
+    body1 = [
+        f"addi r3, zero, {items}",
+        "addi r5, zero, 0",
+        "c_loop:",
+        "call s_items_wait",
+        "call mtx_lock",
+        "addi r1, r5, 0",
+        "call buf_get",
+        "addi r6, r1, 0",
+        "call acc_load",
+        "add  r1, r1, r6",
+        "call acc_store",
+        "call mtx_unlock",
+        "call s_space_post",
+        "li   r7, '.'",
+        "out  r7",
+        "addi r5, r5, 1",
+        "addi r3, r3, -1",
+        "bnez r3, c_loop",
+        f"addi r1, zero, {DONE_BIT}",
+        "call f_done_set",
+    ]
+    kb.set_thread_body(0, body0)
+    kb.set_thread_body(1, body1)
+    return kb.build(name)
+
+
+def baseline(items: int = DEFAULT_ITEMS) -> Program:
+    """Unprotected ``sync2`` analog."""
+    return _build(protect=False, items=items, name="sync2")
+
+
+def hardened(items: int = DEFAULT_ITEMS) -> Program:
+    """SUM+DMR-hardened variant: kernel objects protected."""
+    return _build(protect=True, items=items, name="sync2-sumdmr")

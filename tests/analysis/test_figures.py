@@ -1,0 +1,85 @@
+"""Tests for the figure data generators."""
+
+import pytest
+
+from repro.analysis import (
+    fig1_data,
+    fig2_data,
+    fig2_verdicts,
+    fig3_data,
+    render_fault_space,
+    table1_data,
+)
+from repro.campaign import CampaignSummary, record_golden, run_full_scan
+from repro.programs import hi
+
+
+@pytest.fixture(scope="module")
+def hi_golden():
+    return record_golden(hi.baseline())
+
+
+@pytest.fixture(scope="module")
+def summaries(hi_golden):
+    base = CampaignSummary.from_result(run_full_scan(hi_golden))
+    dft = CampaignSummary.from_result(
+        run_full_scan(record_golden(hi.dft_variant(4))))
+    return {"hi": base, "hi-dft4": dft}
+
+
+class TestTable1:
+    def test_rows_k0_to_k5(self):
+        rows = table1_data()
+        assert [r["k"] for r in rows] == [0, 1, 2, 3, 4, 5]
+        assert rows[0]["probability"] == pytest.approx(1.0, abs=1e-10)
+        assert rows[1]["probability"] == pytest.approx(1.66e-14, rel=0.02)
+        assert rows[2]["probability"] < 1e-27
+
+
+class TestFig1:
+    def test_reduction_numbers(self, hi_golden):
+        data = fig1_data(hi_golden)
+        assert data["fault_space_size"] == 128
+        assert data["experiments"] == 16  # 2 bytes x 8 bits
+        assert data["reduction_factor"] == pytest.approx(8.0)
+
+
+class TestFig2:
+    def test_series_fields(self, summaries):
+        series = fig2_data(summaries)
+        assert {s.variant for s in series} == {"hi", "hi-dft4"}
+        for s in series:
+            assert 0.0 <= s.coverage_weighted <= 1.0
+            assert s.failures_weighted == 48
+
+    def test_verdicts_expose_misleading_metrics(self, summaries):
+        data = fig2_verdicts(summaries["hi"], summaries["hi-dft4"],
+                             "hi-vs-dft")
+        assert data["ratio"] == pytest.approx(1.0)
+        assert "coverage weighted (pitfall 3)" in \
+            data["misleading_metrics"]
+
+
+class TestFig3:
+    def test_rows(self, summaries):
+        rows = fig3_data(summaries)
+        by_name = {r["variant"]: r for r in rows}
+        assert by_name["hi"]["coverage"] == pytest.approx(0.625)
+        assert by_name["hi-dft4"]["coverage"] == pytest.approx(0.75)
+        assert all(r["failures"] == 48 for r in rows)
+
+
+class TestRenderFaultSpace:
+    def test_marks_accesses_and_liveness(self, hi_golden):
+        art = render_fault_space(hi_golden)
+        lines = art.splitlines()
+        assert lines[0].startswith("cycle")
+        assert len(lines) == 3  # header + 2 bytes
+        # Byte 0: W at slot 2, R at slot 5, live in between.
+        assert lines[1].endswith(".W##R...")
+
+    def test_truncation_notice(self):
+        from repro.programs import micro
+        golden = record_golden(micro.memcopy(8))
+        art = render_fault_space(golden, max_cycles=10, max_bytes=2)
+        assert "truncated" in art

@@ -1,0 +1,87 @@
+"""Tests for campaign result persistence and caching."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignCache,
+    CampaignSummary,
+    export_class_results_csv,
+    import_class_results_csv,
+    program_fingerprint,
+    record_golden,
+    run_full_scan,
+)
+from repro.programs import hi
+
+
+@pytest.fixture(scope="module")
+def hi_scan():
+    return run_full_scan(record_golden(hi.baseline()))
+
+
+class TestCampaignSummary:
+    def test_from_result_captures_counts(self, hi_scan):
+        summary = CampaignSummary.from_result(hi_scan)
+        assert summary.fault_space_size == 128
+        assert summary.cycles == 8
+        assert summary.weighted() == dict(hi_scan.weighted_counts())
+        assert summary.raw() == dict(hi_scan.raw_counts())
+
+    def test_json_roundtrip(self, hi_scan):
+        summary = CampaignSummary.from_result(hi_scan)
+        clone = CampaignSummary.from_json(summary.to_json())
+        assert clone == summary
+
+
+class TestFingerprint:
+    def test_same_program_same_fingerprint(self):
+        assert program_fingerprint(hi.baseline()) \
+            == program_fingerprint(hi.baseline())
+
+    def test_different_variants_differ(self):
+        assert program_fingerprint(hi.baseline()) \
+            != program_fingerprint(hi.dft_variant(4))
+
+    def test_ram_size_affects_fingerprint(self):
+        assert program_fingerprint(hi.baseline()) \
+            != program_fingerprint(hi.memory_diluted_variant(2))
+
+
+class TestCampaignCache:
+    def test_get_or_run_runs_once(self, tmp_path, hi_scan):
+        cache = CampaignCache(tmp_path)
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            return hi_scan
+
+        first = cache.get_or_run(hi.baseline(), thunk)
+        second = cache.get_or_run(hi.baseline(), thunk)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_changed_program_invalidates_cache(self, tmp_path, hi_scan):
+        cache = CampaignCache(tmp_path)
+        cache.get_or_run(hi.baseline(), lambda: hi_scan)
+        assert cache.load(hi.dft_variant(4)) is None
+
+    def test_corrupt_cache_entry_is_ignored(self, tmp_path, hi_scan):
+        cache = CampaignCache(tmp_path)
+        cache.get_or_run(hi.baseline(), lambda: hi_scan)
+        path = cache._path(hi.baseline())
+        path.write_text("{not json")
+        assert cache.load(hi.baseline()) is None
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path, hi_scan):
+        path = tmp_path / "results.csv"
+        export_class_results_csv(hi_scan, path)
+        rows = import_class_results_csv(path)
+        records = hi_scan.class_records()
+        assert len(rows) == len(records)
+        for row, (interval, outcomes) in zip(rows, records):
+            assert row["addr"] == interval.addr
+            assert row["length"] == interval.length
+            assert row["outcomes"] == outcomes

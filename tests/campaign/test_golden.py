@@ -1,0 +1,55 @@
+"""Tests for golden-run recording."""
+
+import pytest
+
+from repro.campaign import GoldenRunError, record_golden
+from repro.isa import assemble
+
+
+class TestRecordGolden:
+    def test_records_output_cycles_and_trace(self):
+        golden = record_golden(assemble("""
+            .data
+v:      .byte 0
+            .text
+start:  li   r1, 'A'
+        sb   r1, v(zero)
+        lbu  r2, v(zero)
+        out  r2
+        halt
+""", ram_size=1))
+        assert golden.output == b"A"
+        assert golden.cycles == 5
+        assert golden.trace.total_slots == 5
+        assert golden.fault_space.size == 5 * 8
+
+    def test_partition_is_validated(self):
+        golden = record_golden(assemble(
+            ".text\nstart: li r1, 1\n sb r1, 0(zero)\n lbu r2, 0(zero)\n"
+            " halt", ram_size=2))
+        partition = golden.partition()
+        assert partition.total_weight == golden.fault_space.size
+
+    def test_trapping_program_rejected(self):
+        program = assemble(".text\nstart: lw r1, 999(zero)\n halt",
+                           ram_size=8)
+        with pytest.raises(GoldenRunError, match="trapped"):
+            record_golden(program)
+
+    def test_nonterminating_program_rejected(self):
+        program = assemble(".text\nstart: j start")
+        with pytest.raises(GoldenRunError, match="exceeded"):
+            record_golden(program, cycle_limit=1000)
+
+    def test_spurious_detection_rejected(self):
+        program = assemble(".text\nstart: detect 1\n halt")
+        with pytest.raises(GoldenRunError, match="detections"):
+            record_golden(program)
+
+    def test_golden_run_is_reproducible(self):
+        program = assemble(
+            ".text\nstart: li r1, 'x'\n out r1\n halt")
+        first = record_golden(program)
+        second = record_golden(program)
+        assert first.output == second.output
+        assert first.cycles == second.cycles

@@ -1,0 +1,76 @@
+"""Tests for the outcome taxonomy and classifier."""
+
+import pytest
+
+from repro.campaign import (
+    BENIGN_OUTCOMES,
+    FAILURE_OUTCOMES,
+    Outcome,
+    PANIC_CODE,
+    classify,
+)
+
+GOLDEN = b"Hello"
+
+
+class TestTaxonomy:
+    def test_eight_outcome_types(self):
+        assert len(Outcome) == 8
+
+    def test_two_benign_six_failure(self):
+        assert len(BENIGN_OUTCOMES) == 2
+        assert len(FAILURE_OUTCOMES) == 6
+
+    def test_benign_partition(self):
+        assert set(BENIGN_OUTCOMES) == {Outcome.NO_EFFECT,
+                                        Outcome.DETECTED_CORRECTED}
+        for outcome in Outcome:
+            assert outcome.is_failure != outcome.is_benign
+
+
+class TestClassify:
+    def base(self, **overrides):
+        kwargs = dict(golden_output=GOLDEN, output=GOLDEN,
+                      halted_cleanly=True, trapped=False, timed_out=False,
+                      detections=())
+        kwargs.update(overrides)
+        return classify(**kwargs)
+
+    def test_identical_run_is_no_effect(self):
+        assert self.base() is Outcome.NO_EFFECT
+
+    def test_correct_output_with_detection_is_corrected(self):
+        assert self.base(detections=((10, 1),)) \
+            is Outcome.DETECTED_CORRECTED
+
+    def test_timeout_wins_over_everything(self):
+        assert self.base(timed_out=True, halted_cleanly=False) \
+            is Outcome.TIMEOUT
+
+    def test_trap_is_cpu_exception(self):
+        assert self.base(trapped=True, halted_cleanly=False,
+                         output=b"He") is Outcome.CPU_EXCEPTION
+
+    def test_wrong_output_is_sdc(self):
+        assert self.base(output=b"Hxllo") is Outcome.SDC
+
+    def test_longer_output_is_sdc(self):
+        assert self.base(output=GOLDEN + b"!") is Outcome.SDC
+
+    def test_strict_prefix_is_truncated(self):
+        assert self.base(output=b"He") is Outcome.OUTPUT_TRUNCATED
+
+    def test_empty_output_is_truncated(self):
+        assert self.base(output=b"") is Outcome.OUTPUT_TRUNCATED
+
+    def test_panic_detection_is_fail_stop(self):
+        assert self.base(output=b"He", detections=((5, PANIC_CODE),)) \
+            is Outcome.DETECTED_FAIL_STOP
+
+    def test_non_panic_detection_with_wrong_output_is_uncorrected(self):
+        assert self.base(output=b"Hxllo", detections=((5, 1),)) \
+            is Outcome.DETECTED_UNCORRECTED
+
+    def test_unclassifiable_state_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(halted_cleanly=False)

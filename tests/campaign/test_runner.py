@@ -1,0 +1,130 @@
+"""Tests for the campaign runners (full scan, brute force, sampling)."""
+
+import pytest
+
+from repro.campaign import (
+    Outcome,
+    record_golden,
+    run_brute_force,
+    run_full_scan,
+    run_sampling,
+)
+from repro.isa import assemble
+from repro.programs import hi, micro
+
+
+@pytest.fixture(scope="module")
+def hi_golden():
+    return record_golden(hi.baseline())
+
+
+@pytest.fixture(scope="module")
+def hi_scan(hi_golden):
+    return run_full_scan(hi_golden)
+
+
+class TestFullScan:
+    def test_weighted_counts_sum_to_fault_space(self, hi_scan):
+        counts = hi_scan.weighted_counts()
+        assert sum(counts.values()) == hi_scan.fault_space_size
+
+    def test_raw_counts_sum_to_experiments(self, hi_scan):
+        counts = hi_scan.raw_counts()
+        assert sum(counts.values()) == hi_scan.experiments_conducted
+
+    def test_outcome_of_resolves_every_coordinate(self, hi_scan):
+        space = hi_scan.golden.fault_space
+        for coord in space.iter_coordinates():
+            assert hi_scan.outcome_of(coord) in Outcome
+
+    def test_class_records_cover_all_live_classes(self, hi_scan):
+        records = hi_scan.class_records()
+        assert len(records) == len(hi_scan.class_outcomes)
+        for interval, outcomes in records:
+            assert len(outcomes) == 8
+
+    def test_keep_records_retains_experiment_records(self, hi_golden):
+        scan = run_full_scan(hi_golden, keep_records=True)
+        assert len(scan.records) == scan.experiments_conducted
+
+    def test_progress_callback_invoked(self, hi_golden):
+        seen = []
+        run_full_scan(hi_golden,
+                      progress=lambda done, total: seen.append((done,
+                                                                total)))
+        assert seen[-1][0] == seen[-1][1] > 0
+
+
+class TestBruteForce:
+    def test_brute_force_covers_whole_space(self, hi_golden):
+        result = run_brute_force(hi_golden)
+        assert len(result.outcomes) == hi_golden.fault_space.size
+        assert sum(result.counts().values()) == result.fault_space_size
+
+    def test_brute_force_agrees_with_pruned_scan(self, hi_golden, hi_scan):
+        """Pruning is an optimization: it must not change ANY result."""
+        brute = run_brute_force(hi_golden)
+        for coord, outcome in brute.outcomes.items():
+            assert hi_scan.outcome_of(coord) == outcome
+        assert brute.counts() == hi_scan.weighted_counts()
+
+
+class TestSampling:
+    def test_uniform_sampling_population_is_w(self, hi_golden):
+        result = run_sampling(hi_golden, 100, seed=1)
+        assert result.population == hi_golden.fault_space.size
+        assert result.n_samples == 100
+
+    def test_live_only_population_is_live_weight(self, hi_golden):
+        partition = hi_golden.partition()
+        result = run_sampling(hi_golden, 100, seed=1, sampler="live-only",
+                              partition=partition)
+        assert result.population == partition.live_weight
+
+    def test_sampling_shares_experiments_within_classes(self, hi_golden):
+        result = run_sampling(hi_golden, 500, seed=2)
+        # The Hi fault space has very few distinct (class, bit) pairs, so
+        # 500 samples must share far fewer experiments.
+        assert result.experiments_conducted < 100
+        assert result.n_samples == 500
+
+    def test_sample_outcomes_match_full_scan(self, hi_golden, hi_scan):
+        result = run_sampling(hi_golden, 300, seed=3)
+        for sample, outcome in result.samples:
+            assert hi_scan.outcome_of(sample.coordinate) == outcome
+
+    def test_sampling_deterministic_per_seed(self, hi_golden):
+        a = run_sampling(hi_golden, 50, seed=9)
+        b = run_sampling(hi_golden, 50, seed=9)
+        assert [(s.coordinate, o) for s, o in a.samples] \
+            == [(s.coordinate, o) for s, o in b.samples]
+
+    def test_unknown_sampler_rejected(self, hi_golden):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            run_sampling(hi_golden, 10, sampler="bogus")
+
+    def test_zero_samples_rejected(self, hi_golden):
+        with pytest.raises(ValueError):
+            run_sampling(hi_golden, 0)
+
+    def test_biased_sampler_runs(self, hi_golden):
+        result = run_sampling(hi_golden, 100, seed=4,
+                              sampler="biased-class")
+        assert result.sampler == "biased-class"
+        assert result.n_samples == 100
+
+    def test_failure_count_counts_failures_only(self, hi_golden):
+        result = run_sampling(hi_golden, 200, seed=5)
+        manual = sum(1 for _, o in result.samples if o.is_failure)
+        assert result.failure_count() == manual
+
+
+class TestMultiByteProgram:
+    def test_full_scan_of_memcopy_is_consistent(self):
+        golden = record_golden(micro.memcopy(4))
+        scan = run_full_scan(golden)
+        counts = scan.weighted_counts()
+        assert sum(counts.values()) == golden.fault_space.size
+        # Corrupting any live source/destination byte must fail somewhere.
+        failures = sum(n for o, n in counts.items() if o.is_failure)
+        assert failures > 0

@@ -1,0 +1,58 @@
+"""Tests for named memory regions."""
+
+import pytest
+
+from repro.faultspace import Region, RegionMap
+
+
+class TestRegion:
+    def test_size_and_contains(self):
+        region = Region(start=4, end=8, name="obj")
+        assert region.size == 4
+        assert region.contains(4)
+        assert region.contains(7)
+        assert not region.contains(8)
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(start=4, end=4)
+        with pytest.raises(ValueError):
+            Region(start=-1, end=3)
+
+
+class TestRegionMap:
+    def test_add_and_lookup(self):
+        regions = RegionMap(ram_size=64)
+        regions.add(0, 16, "kernel")
+        regions.add(16, 32, "app")
+        assert regions.name_of(0) == "kernel"
+        assert regions.name_of(31) == "app"
+        assert regions.name_of(40) == "unmapped"
+
+    def test_overlap_rejected(self):
+        regions = RegionMap(ram_size=64)
+        regions.add(0, 16, "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            regions.add(8, 24, "b")
+
+    def test_region_beyond_ram_rejected(self):
+        regions = RegionMap(ram_size=16)
+        with pytest.raises(ValueError, match="exceeds RAM"):
+            regions.add(8, 24, "big")
+
+    def test_lookup_out_of_ram_rejected(self):
+        regions = RegionMap(ram_size=16)
+        with pytest.raises(IndexError):
+            regions.lookup(16)
+
+    def test_coverage_fraction(self):
+        regions = RegionMap(ram_size=32)
+        regions.add(0, 8, "a")
+        regions.add(24, 32, "b")
+        assert regions.coverage() == pytest.approx(0.5)
+
+    def test_regions_sorted_by_start(self):
+        regions = RegionMap(ram_size=64)
+        regions.add(32, 48, "late")
+        regions.add(0, 8, "early")
+        assert [r.name for r in regions.regions] == ["early", "late"]

@@ -1,0 +1,135 @@
+"""Tests for the fault-space samplers, including the Pitfall 2 bias."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faultspace import (
+    BiasedClassSampler,
+    DefUsePartition,
+    FaultSpace,
+    LIVE,
+    LiveOnlySampler,
+    UniformSampler,
+)
+from repro.isa import MemoryTrace, READ, WRITE
+
+
+def make_partition(cycles, ram_bytes, events):
+    trace = MemoryTrace()
+    for addr, evs in events.items():
+        for slot, kind in evs:
+            trace.record(slot, addr, 1, kind)
+    trace.finish(cycles)
+    return DefUsePartition.from_trace(
+        trace, FaultSpace(cycles=cycles, ram_bytes=ram_bytes))
+
+
+class TestUniformSampler:
+    def test_draw_is_deterministic_per_seed(self):
+        space = FaultSpace(cycles=10, ram_bytes=4)
+        a = UniformSampler(space, seed=7).draw(50)
+        b = UniformSampler(space, seed=7).draw(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        space = FaultSpace(cycles=10, ram_bytes=4)
+        assert (UniformSampler(space, seed=1).draw(50)
+                != UniformSampler(space, seed=2).draw(50))
+
+    def test_draws_stay_inside_space(self):
+        space = FaultSpace(cycles=5, ram_bytes=2)
+        for coord in UniformSampler(space, seed=3).draw(200):
+            assert space.contains(coord)
+
+    def test_negative_count_rejected(self):
+        space = FaultSpace(cycles=5, ram_bytes=2)
+        with pytest.raises(ValueError):
+            UniformSampler(space).draw(-1)
+
+    def test_classified_samples_carry_their_class(self):
+        partition = make_partition(10, 1, {0: [(3, WRITE), (8, READ)]})
+        sampler = UniformSampler(partition.fault_space, seed=0)
+        for sample in sampler.draw_classified(100, partition):
+            interval = partition.locate(sample.coordinate)
+            assert sample.addr == interval.addr
+            assert sample.class_first_slot == interval.first_slot
+            assert sample.class_kind == interval.kind
+
+    def test_uniformity_over_small_space(self):
+        # Chi-square-ish sanity: every coordinate of a tiny space should
+        # be hit with roughly equal frequency.
+        space = FaultSpace(cycles=2, ram_bytes=1)  # 16 coordinates
+        draws = UniformSampler(space, seed=11).draw(3200)
+        counts = collections.Counter(draws)
+        assert len(counts) == 16
+        # Expectation 200 per coordinate; allow generous slack.
+        assert all(120 <= c <= 280 for c in counts.values())
+
+
+class TestLiveOnlySampler:
+    def test_population_is_live_weight(self):
+        partition = make_partition(10, 2, {0: [(3, WRITE), (8, READ)]})
+        sampler = LiveOnlySampler(partition, seed=0)
+        assert sampler.population == partition.live_weight
+
+    def test_samples_fall_only_in_live_classes(self):
+        partition = make_partition(
+            12, 2, {0: [(4, WRITE), (11, READ)], 1: [(2, READ)]})
+        sampler = LiveOnlySampler(partition, seed=5)
+        for sample in sampler.draw_classified(200):
+            assert sample.class_kind == LIVE
+            assert partition.locate(sample.coordinate).kind == LIVE
+
+    def test_empty_live_space_rejected(self):
+        partition = make_partition(4, 1, {0: [(2, WRITE)]})
+        sampler = LiveOnlySampler(partition, seed=0)
+        assert sampler.population == 0
+        with pytest.raises(ValueError, match="no live"):
+            sampler.draw_classified(1)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=25)
+    def test_live_draws_cover_whole_live_intervals(self, seed):
+        partition = make_partition(
+            9, 1, {0: [(2, READ), (7, READ)]})
+        sampler = LiveOnlySampler(partition, seed=seed)
+        for sample in sampler.draw_classified(20):
+            interval = partition.locate(sample.coordinate)
+            assert interval.covers(sample.coordinate.slot)
+
+
+class TestBiasedClassSampler:
+    def test_rejects_partition_without_live_classes(self):
+        partition = make_partition(4, 1, {0: [(2, WRITE)]})
+        with pytest.raises(ValueError):
+            BiasedClassSampler(partition)
+
+    def test_injects_only_at_representative_slots(self):
+        partition = make_partition(
+            20, 1, {0: [(2, READ), (19, READ)]})
+        sampler = BiasedClassSampler(partition, seed=1)
+        slots = {s.coordinate.slot for s in sampler.draw_classified(100)}
+        assert slots <= {2, 19}
+
+    def test_bias_ignores_class_sizes(self):
+        # Two live classes with wildly different sizes (2 vs 18 slots):
+        # the biased sampler picks each class ~50/50, the raw-uniform
+        # sampler proportionally to size.
+        partition = make_partition(
+            20, 1, {0: [(2, READ), (19, READ)]})
+        biased = BiasedClassSampler(partition, seed=3)
+        counts = collections.Counter(
+            s.class_first_slot for s in biased.draw_classified(2000))
+        small, large = counts[1], counts[3]
+        assert abs(small - large) < 0.2 * 2000  # ~50/50
+
+        uniform = UniformSampler(partition.fault_space, seed=3)
+        u_counts = collections.Counter(
+            s.class_first_slot
+            for s in uniform.draw_classified(2000, partition)
+            if s.class_kind == LIVE)
+        # Raw-uniform: class starting at slot 3 (17 slots) dominates the
+        # class starting at slot 1 (2 slots) by roughly its size ratio.
+        assert u_counts[3] > 4 * u_counts[1]

@@ -1,0 +1,76 @@
+"""Tests for the Python-side SUM+DMR layout mirror."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardening import (
+    additive_checksum,
+    initial_image,
+    protected_size_bytes,
+    read_object,
+)
+
+WORDS = st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                 min_size=1, max_size=8)
+
+
+class TestAdditiveChecksum:
+    def test_simple_sum(self):
+        assert additive_checksum([1, 2, 3]) == 6
+
+    def test_wraps_modulo_2_32(self):
+        assert additive_checksum([0xFFFFFFFF, 2]) == 1
+
+    @given(WORDS, st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=31))
+    def test_detects_any_single_bit_flip(self, words, index, bit):
+        index %= len(words)
+        flipped = list(words)
+        flipped[index] ^= 1 << bit
+        assert additive_checksum(flipped) != additive_checksum(words)
+
+
+class TestInitialImage:
+    def test_layout(self):
+        image = initial_image([1, 2])
+        view = read_object(image, 0, 2)
+        assert view.primary == (1, 2)
+        assert view.replica == (1, 2)
+        assert view.checksum == 3
+        assert view.is_consistent
+
+    def test_size(self):
+        assert protected_size_bytes(2) == 20
+        assert len(initial_image([1, 2])) == 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            initial_image([])
+        with pytest.raises(ValueError):
+            protected_size_bytes(0)
+
+
+class TestObjectView:
+    @given(WORDS, st.integers(min_value=0, max_value=10 ** 9),
+           st.integers(min_value=0, max_value=31))
+    def test_single_fault_is_always_recoverable(self, words, pos, bit):
+        """Any single bit flip anywhere in the object is recoverable."""
+        image = bytearray(initial_image(words))
+        pos %= len(image)
+        image[pos] ^= 1 << (bit % 8)
+        view = read_object(image, 0, len(words))
+        assert view.is_recoverable
+
+    def test_double_fault_can_be_unrecoverable(self):
+        image = bytearray(initial_image([5]))
+        image[0] ^= 1      # primary
+        image[4] ^= 2      # replica, different bit
+        view = read_object(image, 0, 1)
+        assert not view.is_recoverable
+
+    def test_read_object_validates_alignment_and_bounds(self):
+        image = initial_image([1])
+        with pytest.raises(ValueError):
+            read_object(image, 2, 1)
+        with pytest.raises(ValueError):
+            read_object(image, 0, 2)

@@ -1,0 +1,91 @@
+"""Tests for the DFT dilution transformations (Section IV)."""
+
+import pytest
+
+from repro.campaign import record_golden
+from repro.hardening import (
+    TransformError,
+    dilute_program,
+    load_dilution,
+    memory_dilution,
+    nop_dilution,
+)
+from repro.isa import Op
+from repro.programs import hi
+
+
+class TestNopDilution:
+    def test_adds_exactly_n_cycles(self):
+        base = record_golden(hi.baseline())
+        diluted = record_golden(nop_dilution(4).apply_to_program(
+            hi.baseline()))
+        assert diluted.cycles == base.cycles + 4
+        assert diluted.output == base.output
+
+    def test_nops_land_after_start_label(self):
+        program = nop_dilution(3).apply_to_program(hi.baseline())
+        entry = program.entry
+        assert [i.op for i in program.rom[entry:entry + 3]] == \
+            [Op.NOP] * 3
+
+    def test_zero_nops_is_identity_runtime(self):
+        base = record_golden(hi.baseline())
+        same = record_golden(nop_dilution(0).apply_to_program(
+            hi.baseline()))
+        assert same.cycles == base.cycles
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TransformError):
+            nop_dilution(-1)
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(TransformError, match="occurs 0 times"):
+            nop_dilution(2).apply(".text\n nop\n halt")
+
+    def test_variant_name_records_transformation(self):
+        program = nop_dilution(4).apply_to_program(hi.baseline())
+        assert program.name == "hi-dft4"
+
+
+class TestLoadDilution:
+    def test_adds_loads_that_activate_padding_faults(self):
+        base = record_golden(hi.baseline())
+        program = load_dilution(4, ["msg", "msg+1"]).apply_to_program(
+            hi.baseline())
+        diluted = record_golden(program)
+        assert diluted.cycles == base.cycles + 4
+        assert diluted.output == base.output
+        # The prepended loads must be real memory reads.
+        entry = program.entry
+        assert all(program.rom[entry + i].op == Op.LBU for i in range(4))
+
+    def test_requires_addresses(self):
+        with pytest.raises(TransformError, match="at least one address"):
+            load_dilution(2, [])
+
+    def test_integer_addresses_accepted(self):
+        program = load_dilution(2, [0, 1]).apply_to_program(hi.baseline())
+        assert record_golden(program).output == b"Hi"
+
+
+class TestMemoryDilution:
+    def test_source_pass_is_identity(self):
+        source = hi.HI_SOURCE
+        assert memory_dilution(16).apply(source) == source
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(TransformError):
+            memory_dilution(-1)
+
+
+class TestDiluteProgram:
+    def test_combined_dilution(self):
+        program = dilute_program(hi.baseline(), nops=2, extra_bytes=4)
+        assert program.ram_size == hi.baseline().ram_size + 4
+        golden = record_golden(program)
+        assert golden.cycles == record_golden(hi.baseline()).cycles + 2
+        assert "dft2" in program.name and "mem4" in program.name
+
+    def test_noop_dilution_still_renames(self):
+        program = dilute_program(hi.baseline())
+        assert program.name.endswith("diluted0")

@@ -1,0 +1,81 @@
+"""Tests for the source-transformation framework."""
+
+import pytest
+
+from repro.hardening import (
+    HardeningPass,
+    TransformError,
+    append_to_data_segment,
+    compose,
+    insert_after_label,
+    split_label,
+)
+
+
+class TestSplitLabel:
+    def test_label_with_instruction(self):
+        assert split_label("start:  li r1, 1") == ("start:", "li r1, 1")
+
+    def test_bare_label(self):
+        assert split_label("loop:") == ("loop:", "")
+
+    def test_no_label(self):
+        assert split_label("        nop") == ("", "nop")
+
+
+class TestInsertAfterLabel:
+    def test_inserts_between_label_and_instruction(self):
+        source = ".text\nstart: li r1, 1\n halt\n"
+        result = insert_after_label(source, "start", ["        nop"])
+        lines = [l.strip() for l in result.splitlines() if l.strip()]
+        assert lines == [".text", "start:", "nop", "li r1, 1", "halt"]
+
+    def test_inserts_after_bare_label(self):
+        source = ".text\nstart:\n halt\n"
+        result = insert_after_label(source, "start", ["        nop"])
+        assert result.index("start:") < result.index("nop") \
+            < result.index("halt")
+
+    def test_duplicate_label_rejected(self):
+        source = ".text\nstart: nop\n.text\nstart: nop\n"
+        with pytest.raises(TransformError, match="2 times"):
+            insert_after_label(source, "start", ["nop"])
+
+
+class TestAppendToDataSegment:
+    def test_appends_before_text(self):
+        source = "        .data\nv: .word 1\n        .text\n halt\n"
+        result = append_to_data_segment(source, ["pad: .space 4"])
+        assert result.index("pad:") < result.index(".text")
+
+    def test_creates_data_segment_when_missing(self):
+        source = "        .text\n halt\n"
+        result = append_to_data_segment(source, ["pad: .space 4"])
+        assert ".data" in result
+        assert result.index("pad:") < result.index(".text")
+
+    def test_sourceless_input_rejected(self):
+        with pytest.raises(TransformError):
+            append_to_data_segment("nop\n", ["x: .word 1"])
+
+
+class TestHardeningPass:
+    def test_apply_to_program_renames_variant(self):
+        from repro.programs import hi
+        identity = HardeningPass(name="noop", description="nothing",
+                                 transform=lambda s: s)
+        program = identity.apply_to_program(hi.baseline())
+        assert program.name == "hi-noop"
+        assert program.rom_size == hi.baseline().rom_size
+
+    def test_compose_applies_in_order(self):
+        first = HardeningPass("a", "adds A", lambda s: s + "; A\n")
+        second = HardeningPass("b", "adds B", lambda s: s + "; B\n")
+        combined = compose(first, second)
+        assert combined.name == "a+b"
+        result = combined.apply(".text\nhalt\n")
+        assert result.index("; A") < result.index("; B")
+
+    def test_compose_requires_passes(self):
+        with pytest.raises(ValueError):
+            compose()

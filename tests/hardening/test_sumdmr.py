@@ -1,0 +1,137 @@
+"""Tests for the SUM+DMR assembly emitter, executed on the machine."""
+
+import pytest
+
+from repro.campaign import record_golden
+from repro.hardening import ProtectedObject, SumDmrEmitter, read_object
+from repro.isa import Machine, assemble
+
+
+def build_guarded_program(n_words=2, init=(10, 20)):
+    """A program that checks, reads, modifies, updates a protected object
+    and prints the first word."""
+    emitter = SumDmrEmitter()
+    obj = ProtectedObject(name="obj", n_words=n_words)
+    lines = ["        .data"]
+    lines += emitter.data_lines(obj, list(init))
+    lines += ["        .text", "start:"]
+    lines += emitter.emit_check(obj)
+    lines += [
+        f"        lw   r1, {obj.word(0)}(zero)",
+        "        addi r1, r1, 1",
+        f"        sw   r1, {obj.word(0)}(zero)",
+    ]
+    lines += emitter.emit_update(obj)
+    lines += emitter.emit_check(obj)
+    lines += [
+        f"        lw   r1, {obj.word(0)}(zero)",
+        "        out  r1",
+        "        halt",
+    ]
+    source = "\n".join(lines) + "\n"
+    return assemble(source, name="guarded",
+                    ram_size=obj.size_bytes), obj
+
+
+class TestProtectedObject:
+    def test_offsets(self):
+        obj = ProtectedObject(name="x", n_words=3)
+        assert obj.replica_offset == 12
+        assert obj.checksum_offset == 24
+        assert obj.size_bytes == 28
+        assert obj.word(1) == "x+4"
+        assert obj.replica_word(0) == "x+12"
+        assert obj.checksum_word == "x+24"
+
+    def test_bounds(self):
+        obj = ProtectedObject(name="x", n_words=2)
+        with pytest.raises(IndexError):
+            obj.word(2)
+        with pytest.raises(ValueError):
+            ProtectedObject(name="x", n_words=0)
+
+
+class TestEmitterOnMachine:
+    def test_golden_run_is_clean(self):
+        program, _ = build_guarded_program()
+        golden = record_golden(program)
+        assert golden.output == bytes([11])
+
+    def test_update_keeps_object_consistent(self):
+        program, obj = build_guarded_program()
+        machine = Machine(program)
+        machine.run(10_000)
+        view = read_object(machine.ram, 0, obj.n_words)
+        assert view.is_consistent
+        assert view.primary[0] == 11
+
+    @pytest.mark.parametrize("byte_offset", range(0, 20, 3))
+    def test_single_fault_anywhere_is_masked(self, byte_offset):
+        """Flip any byte of the protected object right at program start:
+        the guarded program must still produce correct output."""
+        program, obj = build_guarded_program()
+        machine = Machine(program)
+        machine.flip_bit(byte_offset % obj.size_bytes, 4)
+        machine.run(10_000)
+        assert machine.halted
+        assert machine.serial == bytes([11])
+
+    def test_corrupted_primary_reports_detection(self):
+        program, _ = build_guarded_program()
+        machine = Machine(program)
+        machine.flip_bit(0, 0)  # primary word 0
+        machine.run(10_000)
+        assert machine.serial == bytes([11])
+        assert machine.detections  # corrected
+
+    def test_corrupted_checksum_is_recomputed(self):
+        program, obj = build_guarded_program()
+        machine = Machine(program)
+        machine.flip_bit(obj.checksum_offset, 3)
+        machine.run(10_000)
+        assert machine.serial == bytes([11])
+        assert machine.detections
+
+    def test_double_fault_fail_stops(self):
+        program, obj = build_guarded_program()
+        machine = Machine(program)
+        machine.flip_bit(0, 0)                     # primary
+        machine.flip_bit(obj.replica_offset, 1)    # replica, other bit
+        machine.run(10_000)
+        assert machine.halted
+        assert machine.serial == b""  # stopped before output
+        assert any(code >= 0xF0 for _, code in machine.detections)
+
+    def test_base_register_addressing_equivalent(self):
+        """Guards addressed via a base register behave identically."""
+        emitter = SumDmrEmitter()
+        obj = ProtectedObject(name="obj", n_words=1)
+        lines = ["        .data"]
+        lines += emitter.data_lines(obj, [7])
+        lines += ["        .text", "start:",
+                  "        addi r9, zero, 0"]  # base = address 0
+        lines += emitter.emit_check(obj, base="r9")
+        lines += ["        lw   r1, 0(r9)", "        out  r1",
+                  "        halt"]
+        program = assemble("\n".join(lines) + "\n", ram_size=obj.size_bytes)
+        machine = Machine(program)
+        machine.flip_bit(0, 2)  # corrupt primary; check must repair
+        machine.run(10_000)
+        assert machine.serial == bytes([7])
+        assert machine.detections
+
+    def test_base_register_collision_rejected(self):
+        emitter = SumDmrEmitter()
+        obj = ProtectedObject(name="obj", n_words=1)
+        with pytest.raises(ValueError, match="collides"):
+            emitter.emit_check(obj, base="r10")
+
+    def test_data_lines_validate_initializer_count(self):
+        emitter = SumDmrEmitter()
+        obj = ProtectedObject(name="obj", n_words=2)
+        with pytest.raises(ValueError):
+            emitter.data_lines(obj, [1])
+
+    def test_low_panic_code_rejected(self):
+        with pytest.raises(ValueError):
+            SumDmrEmitter(panic_code=0x10)

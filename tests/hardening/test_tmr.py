@@ -1,0 +1,74 @@
+"""Tests for the TMR emitter, executed on the machine."""
+
+import pytest
+
+from repro.hardening import TmrEmitter, TmrWord
+from repro.isa import Machine, assemble
+
+
+def build_tmr_program(init=42, store=None):
+    """Optionally store through TMR, then vote-read and print."""
+    emitter = TmrEmitter()
+    word = TmrWord(name="val")
+    lines = ["        .data"]
+    lines += emitter.data_lines(word, init)
+    lines += ["        .text", "start:"]
+    if store is not None:
+        lines.append(f"        li   r10, {store}")
+        lines += emitter.emit_store(word, "r10")
+    lines += emitter.emit_load(word, "r1")
+    lines += ["        out  r1", "        halt"]
+    return assemble("\n".join(lines) + "\n", ram_size=word.size_bytes)
+
+
+class TestTmrWord:
+    def test_copies(self):
+        word = TmrWord(name="v")
+        assert word.copy(0) == "v"
+        assert word.copy(2) == "v+8"
+        with pytest.raises(IndexError):
+            word.copy(3)
+
+
+class TestTmrOnMachine:
+    def test_clean_run_with_store(self):
+        machine = Machine(build_tmr_program(store=55))
+        machine.run(1000)
+        assert machine.serial == bytes([55])
+        assert not machine.detections
+
+    def test_store_refreshes_all_copies(self):
+        machine = Machine(build_tmr_program(store=55))
+        machine.flip_bit(4, 3)  # corrupt copy B; store overwrites it
+        machine.run(1000)
+        assert machine.serial == bytes([55])
+        assert not machine.detections
+
+    @pytest.mark.parametrize("copy_index", [0, 1, 2])
+    def test_any_single_copy_corruption_is_voted_out(self, copy_index):
+        machine = Machine(build_tmr_program(init=42))
+        machine.flip_bit(copy_index * 4, 3)
+        machine.run(1000)
+        assert machine.serial == bytes([42])
+
+    @pytest.mark.parametrize("copy_index", [0, 1])
+    def test_fast_path_copies_report_detection(self, copy_index):
+        # Corruption of copy A or B is noticed by the vote; corruption of
+        # copy C may go unread on the fast path (A == B).
+        machine = Machine(build_tmr_program(init=42))
+        machine.flip_bit(copy_index * 4, 3)
+        machine.run(1000)
+        assert machine.detections
+
+    def test_vote_repairs_the_odd_copy(self):
+        machine = Machine(build_tmr_program(init=42))
+        machine.flip_bit(0, 6)
+        machine.run(1000)
+        words = [int.from_bytes(machine.ram[i * 4:(i + 1) * 4], "little")
+                 for i in range(3)]
+        assert words == [42, 42, 42]
+
+    def test_dest_register_collision_rejected(self):
+        emitter = TmrEmitter()
+        with pytest.raises(ValueError):
+            emitter.emit_load(TmrWord(name="v"), "r11")

@@ -1,0 +1,62 @@
+"""Reduced-scale checks of the paper's Figure 2 shapes.
+
+The benchmark harness validates the paper-scale configurations; these
+tests run the same four-way comparison at reduced benchmark sizes so
+the shapes are exercised on every test run within seconds.
+"""
+
+import pytest
+
+from repro.campaign import record_golden, run_full_scan
+from repro.metrics import (
+    comparison_report,
+    unweighted_coverage,
+    weighted_coverage,
+)
+from repro.programs import bin_sem2
+
+
+@pytest.fixture(scope="module")
+def scans():
+    return {
+        "base": run_full_scan(record_golden(bin_sem2.baseline(rounds=2))),
+        "hard": run_full_scan(record_golden(bin_sem2.hardened(rounds=2))),
+    }
+
+
+class TestBinSem2Shapes:
+    def test_unweighted_coverage_underestimates(self, scans):
+        for scan in scans.values():
+            assert unweighted_coverage(scan) < weighted_coverage(scan)
+
+    def test_weighted_coverage_improves(self, scans):
+        assert weighted_coverage(scans["hard"]) \
+            > weighted_coverage(scans["base"])
+
+    def test_sound_metric_shows_improvement(self, scans):
+        report = comparison_report("bin_sem2", scans["base"],
+                                   scans["hard"])
+        assert report.ratio < 1.0
+
+    def test_unweighted_counts_flip_the_verdict(self, scans):
+        report = comparison_report("bin_sem2", scans["base"],
+                                   scans["hard"])
+        assert report.unweighted_ratio > 1.0
+        assert "failure-count unweighted (pitfall 1)" in \
+            report.misleading_metrics()
+
+    def test_hardened_detects_and_corrects(self, scans):
+        """The SUM+DMR variant turns a substantial share of would-be
+        failures into benign detected-and-corrected outcomes."""
+        from repro.campaign import Outcome
+        counts = scans["hard"].weighted_counts()
+        assert counts[Outcome.DETECTED_CORRECTED] > 0
+        baseline_counts = scans["base"].weighted_counts()
+        assert baseline_counts[Outcome.DETECTED_CORRECTED] == 0
+
+    def test_fail_stop_mode_appears_only_in_hardened(self, scans):
+        from repro.campaign import Outcome
+        hard_counts = scans["hard"].weighted_counts()
+        base_counts = scans["base"].weighted_counts()
+        assert base_counts[Outcome.DETECTED_FAIL_STOP] == 0
+        assert hard_counts[Outcome.DETECTED_FAIL_STOP] >= 0

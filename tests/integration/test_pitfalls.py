@@ -1,0 +1,134 @@
+"""Executable statements of the paper's three pitfalls on live campaigns."""
+
+import pytest
+
+from repro.campaign import record_golden, run_full_scan, run_sampling
+from repro.metrics import (
+    compare,
+    comparison_report,
+    extrapolated_failure_count,
+    raw_sample_failure_count,
+    sampled_coverage,
+    unweighted_coverage,
+    weighted_coverage,
+    weighted_failure_count,
+)
+from repro.isa import assemble
+from repro.programs import hi
+
+
+@pytest.fixture(scope="module")
+def skewed_golden():
+    """A program with a strong correlation between def/use class size
+    and outcome: a long-lived failure-critical byte plus several
+    short-lived ones. This is the setting where Pitfall 1 bites."""
+    source = """
+        .data
+crit:   .byte 7
+tmp:    .byte 0
+        .text
+start:  li   r1, 1
+        sb   r1, tmp(zero)
+        lbu  r2, tmp(zero)
+        sb   r2, tmp(zero)
+        lbu  r2, tmp(zero)
+        sb   r2, tmp(zero)
+        lbu  r2, tmp(zero)
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        nop
+        lbu  r3, crit(zero)
+        out  r3
+        halt
+"""
+    return record_golden(assemble(source, name="skewed", ram_size=2))
+
+
+class TestPitfall1UnweightedAccounting:
+    def test_unweighted_coverage_differs_from_weighted(self,
+                                                       skewed_golden):
+        scan = run_full_scan(skewed_golden)
+        weighted = weighted_coverage(scan)
+        unweighted = unweighted_coverage(scan)
+        # The long-lived critical byte dominates the weighted number but
+        # is just one experiment among many in the unweighted one.
+        assert abs(weighted - unweighted) > 0.05
+
+    def test_weighted_counts_match_ground_truth(self, skewed_golden):
+        from repro.campaign import run_brute_force
+        scan = run_full_scan(skewed_golden)
+        brute = run_brute_force(skewed_golden)
+        assert scan.weighted_counts() == brute.counts()
+        assert scan.raw_counts() != brute.counts()
+
+
+class TestPitfall2BiasedSampling:
+    def test_biased_sampler_misestimates_failure_proportion(
+            self, skewed_golden):
+        scan = run_full_scan(skewed_golden)
+        truth = 1.0 - weighted_coverage(scan)
+        uniform = run_sampling(skewed_golden, 1500, seed=0,
+                               sampler="uniform")
+        biased = run_sampling(skewed_golden, 1500, seed=0,
+                              sampler="biased-class")
+        uniform_error = abs(
+            uniform.failure_count() / uniform.n_samples - truth)
+        biased_error = abs(
+            biased.failure_count() / biased.n_samples - truth)
+        assert uniform_error < 0.05
+        assert biased_error > 2 * uniform_error
+
+    def test_uniform_sampling_counts_all_samples_per_class(
+            self, skewed_golden):
+        result = run_sampling(skewed_golden, 800, seed=1)
+        assert result.n_samples == 800
+        assert result.experiments_conducted < 800
+
+
+class TestPitfall3FaultCoverage:
+    def test_dilution_inflates_coverage_but_not_failure_count(self):
+        base = run_full_scan(record_golden(hi.baseline()))
+        dft = run_full_scan(record_golden(hi.dft_variant(4)))
+        assert weighted_coverage(dft) > weighted_coverage(base)
+        assert weighted_failure_count(dft).total \
+            == weighted_failure_count(base).total
+        assert compare(base, dft).ratio == 1.0
+
+    def test_report_flags_coverage_as_misleading_for_dft(self):
+        base = run_full_scan(record_golden(hi.baseline()))
+        dft = run_full_scan(record_golden(hi.dft_variant(4)))
+        report = comparison_report("hi", base, dft)
+        assert "coverage weighted (pitfall 3)" in \
+            report.misleading_metrics()
+
+    def test_corollary2_raw_sample_counts_mislead(self):
+        """Raw sampled failure counts depend on N_sampled; extrapolated
+        counts do not."""
+        golden = record_golden(hi.baseline())
+        small = run_sampling(golden, 200, seed=2)
+        large = run_sampling(golden, 2000, seed=2)
+        raw_small = raw_sample_failure_count(small).total
+        raw_large = raw_sample_failure_count(large).total
+        assert raw_large > 5 * raw_small  # raw counts just track N
+        ext_small = extrapolated_failure_count(small).total
+        ext_large = extrapolated_failure_count(large).total
+        assert ext_small == pytest.approx(48, rel=0.25)
+        assert ext_large == pytest.approx(48, rel=0.1)
+
+    def test_corollary1_no_effect_counts_are_excluded(self):
+        golden = record_golden(hi.baseline())
+        scan = run_full_scan(golden)
+        count = weighted_failure_count(scan)
+        assert all(outcome.is_failure for outcome in count.by_mode)
+
+    def test_sampled_coverage_reproduces_the_delusion(self):
+        """Even sampling faithfully estimates the (misleading) coverage
+        gain of DFT — the problem is the metric, not the estimator."""
+        base = run_sampling(record_golden(hi.baseline()), 2000, seed=3)
+        dft = run_sampling(record_golden(hi.dft_variant(4)), 2000, seed=3)
+        assert sampled_coverage(dft) > sampled_coverage(base)

@@ -1,0 +1,101 @@
+"""The project's keystone property (Pitfall 1, stated executably):
+
+def/use pruning is an *optimization* — a pruned, weighted full scan must
+agree with the brute-force scan (one real experiment per raw fault-space
+coordinate) on **every single coordinate**, and therefore on every
+derived count.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign import record_golden, run_brute_force, run_full_scan
+from repro.isa import assemble
+from repro.programs import hi, micro
+
+
+def assert_scan_equals_brute_force(program):
+    golden = record_golden(program)
+    scan = run_full_scan(golden)
+    brute = run_brute_force(golden)
+    for coord, outcome in brute.outcomes.items():
+        assert scan.outcome_of(coord) == outcome, (
+            f"{program.name}: pruned scan disagrees at {coord}")
+    assert scan.weighted_counts() == brute.counts()
+
+
+@pytest.mark.parametrize("thunk", [
+    hi.baseline,
+    lambda: hi.dft_variant(4),
+    lambda: hi.dft_prime_variant(4),
+    lambda: micro.counter(3),
+    lambda: micro.memcopy(3),
+    lambda: micro.checksum_loop(2),
+    lambda: micro.stack_echo(2),
+], ids=["hi", "hi-dft", "hi-dftprime", "counter", "memcopy", "checksum",
+        "stack"])
+def test_pruned_scan_equals_brute_force(thunk):
+    assert_scan_equals_brute_force(thunk())
+
+
+# -- randomized straight-line programs ---------------------------------------
+
+_REGS = ["r1", "r2", "r3"]
+
+
+@st.composite
+def straightline_programs(draw):
+    """Random short programs over a 4-byte RAM with stores, loads,
+    arithmetic and output — enough variety to stress the def/use logic
+    (multi-generation defs, partial-word overlap, dead stores)."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    lines = ["        .text", "start:"]
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["sb", "sw", "lbu", "lw", "addi", "out"]))
+        reg = draw(st.sampled_from(_REGS))
+        if kind == "sb":
+            addr = draw(st.integers(min_value=0, max_value=3))
+            lines.append(f"        sb   {reg}, {addr}(zero)")
+        elif kind == "sw":
+            lines.append(f"        sw   {reg}, 0(zero)")
+        elif kind == "lbu":
+            addr = draw(st.integers(min_value=0, max_value=3))
+            lines.append(f"        lbu  {reg}, {addr}(zero)")
+        elif kind == "lw":
+            lines.append(f"        lw   {reg}, 0(zero)")
+        elif kind == "addi":
+            imm = draw(st.integers(min_value=-8, max_value=8))
+            lines.append(f"        addi {reg}, {reg}, {imm}")
+        else:
+            lines.append(f"        out  {reg}")
+    lines.append("        halt")
+    return "\n".join(lines) + "\n"
+
+
+@given(straightline_programs())
+@settings(max_examples=30, deadline=None)
+def test_pruning_exactness_on_random_programs(source):
+    program = assemble(source, name="random", ram_size=4)
+    assert_scan_equals_brute_force(program)
+
+
+def test_pruning_exactness_with_branching_program():
+    """A program whose control flow depends on RAM contents — faults can
+    change the executed path entirely."""
+    source = """
+        .data
+flag:   .byte 1
+a:      .byte 10
+b:      .byte 20
+        .text
+start:  lbu  r1, flag(zero)
+        beqz r1, other
+        lbu  r2, a(zero)
+        out  r2
+        halt
+other:  lbu  r2, b(zero)
+        out  r2
+        halt
+"""
+    assert_scan_equals_brute_force(assemble(source, ram_size=3))

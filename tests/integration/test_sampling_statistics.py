@@ -1,0 +1,87 @@
+"""Statistical properties of the sampling estimators.
+
+These tests check the estimator *as a distribution*: across many seeds,
+the extrapolated failure count must be unbiased around the full-scan
+truth, and confidence intervals must achieve (roughly) their nominal
+coverage.
+"""
+
+import statistics
+
+import pytest
+
+from repro.campaign import record_golden, run_full_scan, run_sampling
+from repro.metrics import (
+    extrapolated_failure_count,
+    extrapolated_failure_interval,
+    weighted_failure_count,
+)
+from repro.programs import micro
+
+N_SEEDS = 40
+SAMPLES = 300
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return record_golden(micro.checksum_loop(3))
+
+
+@pytest.fixture(scope="module")
+def truth(golden):
+    return weighted_failure_count(run_full_scan(golden)).total
+
+
+@pytest.fixture(scope="module")
+def estimates(golden):
+    partition = golden.partition()
+    values = []
+    intervals = []
+    for seed in range(N_SEEDS):
+        result = run_sampling(golden, SAMPLES, seed=seed,
+                              partition=partition)
+        values.append(extrapolated_failure_count(result).total)
+        intervals.append(extrapolated_failure_interval(result, 0.95))
+    return values, intervals
+
+
+class TestEstimatorDistribution:
+    def test_extrapolation_is_unbiased(self, estimates, truth):
+        values, _ = estimates
+        mean = statistics.mean(values)
+        sem = statistics.stdev(values) / (len(values) ** 0.5)
+        # Mean within 3 standard errors of the truth.
+        assert abs(mean - truth) < 3 * sem + 1e-9
+
+    def test_interval_coverage_near_nominal(self, estimates, truth):
+        _, intervals = estimates
+        hits = sum(1 for iv in intervals if iv.contains(truth))
+        # 95% nominal; with 40 trials allow down to 80%.
+        assert hits / len(intervals) >= 0.8
+
+    def test_estimator_variance_shrinks_with_n(self, golden):
+        partition = golden.partition()
+
+        def spread(n):
+            values = [extrapolated_failure_count(
+                run_sampling(golden, n, seed=s, partition=partition)
+            ).total for s in range(15)]
+            return statistics.stdev(values)
+
+        assert spread(800) < spread(64)
+
+    def test_live_only_estimator_agrees_with_raw(self, golden, truth):
+        partition = golden.partition()
+        raw = [extrapolated_failure_count(
+            run_sampling(golden, SAMPLES, seed=s,
+                         partition=partition)).total
+            for s in range(10)]
+        live = [extrapolated_failure_count(
+            run_sampling(golden, SAMPLES, seed=s, sampler="live-only",
+                         partition=partition)).total
+            for s in range(10)]
+        assert statistics.mean(live) == pytest.approx(
+            statistics.mean(raw), rel=0.2)
+        # Live-only sampling wastes no samples on dead coordinates, so
+        # its estimator is tighter at equal N.
+        assert statistics.stdev(live) <= statistics.stdev(raw) + 1e-9

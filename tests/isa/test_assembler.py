@@ -1,0 +1,292 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, Machine, Op, assemble
+
+
+def run_program(source, ram_size=64, max_cycles=10_000):
+    machine = Machine(assemble(source, ram_size=ram_size))
+    machine.run(max_cycles)
+    return machine
+
+
+class TestDirectives:
+    def test_byte_directive_lays_out_bytes(self):
+        prog = assemble("""
+            .data
+a:      .byte 1, 2, 255
+            .text
+            halt
+""")
+        assert prog.data == bytes([1, 2, 255])
+        assert prog.data_labels["a"] == 0
+
+    def test_word_directive_is_little_endian_and_aligned(self):
+        prog = assemble("""
+            .data
+b:      .byte 1
+w:      .word 0x11223344
+            .text
+            halt
+""")
+        assert prog.data_labels["w"] == 4  # aligned past the byte
+        assert prog.data[4:8] == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_word_forward_reference_to_data_label(self):
+        prog = assemble("""
+            .data
+ptr:    .word target
+target: .word 7
+            .text
+            halt
+""")
+        assert prog.data[0:4] == (4).to_bytes(4, "little")
+
+    def test_space_reserves_zero_bytes(self):
+        prog = assemble("""
+            .data
+gap:    .space 5
+end:    .byte 9
+            .text
+            halt
+""")
+        assert prog.data_labels["end"] == 5
+        assert prog.data[:5] == bytes(5)
+
+    def test_align_pads_to_boundary(self):
+        prog = assemble("""
+            .data
+a:      .byte 1
+        .align 8
+b:      .byte 2
+            .text
+            halt
+""")
+        assert prog.data_labels["b"] == 8
+
+    def test_asciiz_appends_nul(self):
+        prog = assemble("""
+            .data
+s:      .asciiz "hi"
+            .text
+            halt
+""")
+        assert prog.data == b"hi\0"
+
+    def test_ascii_with_escapes(self):
+        prog = assemble("""
+            .data
+s:      .ascii "a\\nb"
+            .text
+            halt
+""")
+        assert prog.data == b"a\nb"
+
+    def test_equ_constant_usable_as_immediate(self):
+        machine = run_program("""
+            .equ VALUE, 42
+            .text
+start:  addi r1, zero, VALUE
+            out  r1
+            halt
+""")
+        assert machine.serial == bytes([42])
+
+    def test_duplicate_equ_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble(".equ A, 1\n.equ A, 2\n.text\nhalt")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".bogus 3")
+
+    def test_align_requires_power_of_two(self):
+        with pytest.raises(AssemblyError, match="power of two"):
+            assemble(".data\n.align 3\n.text\nhalt")
+
+
+class TestLabels:
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble(".text\na: nop\na: nop")
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble(".text\n j nowhere")
+
+    def test_label_and_instruction_on_one_line(self):
+        prog = assemble(".text\nstart: nop\n j start")
+        assert prog.labels["start"] == 0
+        assert prog.rom[1].imm == 0
+
+    def test_entry_defaults_to_zero_without_start(self):
+        prog = assemble(".text\nnop\nhalt")
+        assert prog.entry == 0
+
+    def test_entry_is_start_label(self):
+        prog = assemble(".text\nnop\nstart: halt")
+        assert prog.entry == 1
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_one_instruction(self):
+        prog = assemble(".text\n li r1, 100")
+        assert len(prog.rom) == 1
+        assert prog.rom[0].op == Op.ADDI
+
+    def test_li_large_expands_to_lui_ori(self):
+        prog = assemble(".text\n li r1, 0x12345678")
+        assert [i.op for i in prog.rom] == [Op.LUI, Op.ORI]
+        machine = Machine(prog)
+        machine.run(10)
+        assert machine.regs[1] == 0x12345678
+
+    def test_li_negative(self):
+        machine = run_program(".text\nstart: li r1, -2\n halt")
+        assert machine.regs[1] == 0xFFFFFFFE
+
+    def test_li_large_negative_roundtrips(self):
+        machine = run_program(".text\nstart: li r1, -100000\n halt")
+        assert machine.regs[1] == (-100000) & 0xFFFFFFFF
+
+    def test_mv_copies_register(self):
+        machine = run_program(".text\nstart: li r1, 7\n mv r2, r1\n halt")
+        assert machine.regs[2] == 7
+
+    def test_call_and_ret(self):
+        machine = run_program("""
+            .text
+start:  call sub
+        li   r2, 2
+        halt
+sub:    li   r1, 1
+        ret
+""")
+        assert machine.regs[1] == 1
+        assert machine.regs[2] == 2
+
+    def test_swapped_branch_bgt(self):
+        machine = run_program("""
+            .text
+start:  li   r1, 5
+        li   r2, 3
+        bgt  r1, r2, big
+        li   r3, 0
+        halt
+big:    li   r3, 1
+        halt
+""")
+        assert machine.regs[3] == 1
+
+    def test_beqz_branches_on_zero(self):
+        machine = run_program("""
+            .text
+start:  beqz r1, taken
+        halt
+taken:  li   r2, 9
+        halt
+""")
+        assert machine.regs[2] == 9
+
+    def test_lpc_loads_text_label_index(self):
+        machine = run_program("""
+            .text
+start:  lpc  r1, target
+        jr   r1
+        halt
+target: li   r2, 4
+        halt
+""")
+        assert machine.regs[2] == 4
+
+    def test_char_immediates(self):
+        machine = run_program(".text\nstart: li r1, 'A'\n out r1\n halt")
+        assert machine.serial == b"A"
+
+    def test_escaped_char_immediate(self):
+        machine = run_program(".text\nstart: li r1, '\\n'\n out r1\n halt")
+        assert machine.serial == b"\n"
+
+
+class TestOperandParsing:
+    def test_register_aliases(self):
+        prog = assemble(".text\n addi sp, zero, 4\n addi ra, zero, 1")
+        assert prog.rom[0].rd == 15
+        assert prog.rom[1].rd == 14
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblyError, match="bad register"):
+            assemble(".text\n addi r16, zero, 0")
+
+    def test_address_with_label_offset(self):
+        machine = run_program("""
+            .data
+v:      .word 0
+w:      .word 0
+            .text
+start:  li   r1, 3
+        sw   r1, w(zero)
+        lw   r2, w(zero)
+        halt
+""")
+        assert machine.regs[2] == 3
+
+    def test_address_label_plus_offset(self):
+        machine = run_program("""
+            .data
+arr:    .word 0, 0
+            .text
+start:  li   r1, 9
+        sw   r1, arr+4(zero)
+        lw   r2, arr+4(zero)
+        halt
+""")
+        assert machine.regs[2] == 9
+
+    def test_label_as_offset_with_base_register(self):
+        machine = run_program("""
+            .data
+arr:    .word 11, 22
+            .text
+start:  li   r3, 4
+        lw   r1, arr(r3)
+        halt
+""")
+        assert machine.regs[1] == 22
+
+    def test_immediate_out_of_range_rejected(self):
+        with pytest.raises(AssemblyError, match="16-bit range"):
+            assemble(".text\n addi r1, zero, 70000")
+
+    def test_shift_amount_out_of_range_rejected(self):
+        with pytest.raises(AssemblyError, match="shift amount"):
+            assemble(".text\n slli r1, r1, 32")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError, match="expected operands"):
+            assemble(".text\n add r1, r2")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble(".text\n frobnicate r1")
+
+    def test_comments_are_stripped(self):
+        prog = assemble(".text\n nop ; comment\n nop # other\n")
+        assert len(prog.rom) == 2
+
+    def test_instruction_in_data_segment_rejected(self):
+        with pytest.raises(AssemblyError, match="data segment"):
+            assemble(".data\n nop")
+
+    def test_data_exceeding_ram_rejected(self):
+        with pytest.raises(AssemblyError, match="exceeds RAM"):
+            assemble(".data\n.space 100\n.text\nhalt", ram_size=50)
+
+
+class TestDisassembly:
+    def test_disassemble_lists_every_instruction(self):
+        prog = assemble(".text\nstart: nop\n j start")
+        listing = prog.disassemble()
+        assert "start:" in listing
+        assert listing.count("\n") == 1

@@ -1,0 +1,309 @@
+"""Unit tests for the CPU interpreter: semantics, traps, determinism."""
+
+import pytest
+
+from repro.isa import (
+    AlignmentFault,
+    ArithmeticTrap,
+    HaltedMachine,
+    IllegalPC,
+    Machine,
+    MemoryFault,
+    assemble,
+)
+
+
+def run(source, ram_size=64, max_cycles=10_000):
+    machine = Machine(assemble(source, ram_size=ram_size))
+    machine.run(max_cycles)
+    return machine
+
+
+def run_body(body, **kwargs):
+    return run(f".text\nstart: {body}\n halt", **kwargs)
+
+
+class TestAluSemantics:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 3, 4, 7),
+        ("add", 0xFFFFFFFF, 1, 0),            # wraparound
+        ("sub", 3, 4, 0xFFFFFFFF),            # two's complement
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("mul", 7, 6, 42),
+        ("mul", 0x10000, 0x10000, 0),          # 32-bit truncation
+        ("divu", 17, 5, 3),
+        ("remu", 17, 5, 2),
+        ("sll", 1, 4, 16),
+        ("srl", 16, 4, 1),
+        ("slt", 0xFFFFFFFF, 0, 1),             # -1 < 0 signed
+        ("sltu", 0xFFFFFFFF, 0, 0),            # max > 0 unsigned
+    ])
+    def test_r_type(self, op, a, b, expected):
+        machine = run(f"""
+            .text
+start:  li   r1, {a & 0xFFFFFFFF}
+        li   r2, {b & 0xFFFFFFFF}
+        {op}  r3, r1, r2
+        halt
+""")
+        assert machine.regs[3] == expected
+
+    def test_sra_preserves_sign(self):
+        machine = run_body("li r1, -8\n sra r3, r1, zero\n"
+                           " li r2, 2\n sra r3, r1, r2")
+        assert machine.regs[3] == ((-8 >> 2) & 0xFFFFFFFF)
+
+    def test_srai_immediate(self):
+        machine = run_body("li r1, -16\n srai r3, r1, 2")
+        assert machine.regs[3] == ((-16 >> 2) & 0xFFFFFFFF)
+
+    def test_lui_shifts_immediate(self):
+        machine = run_body("lui r1, 0x1234")
+        assert machine.regs[1] == 0x12340000
+
+    def test_slti_signed_comparison(self):
+        machine = run_body("li r1, -5\n slti r2, r1, 0")
+        assert machine.regs[2] == 1
+
+    def test_sltiu_unsigned_comparison(self):
+        machine = run_body("li r1, -5\n sltiu r2, r1, 0")
+        assert machine.regs[2] == 0
+
+
+class TestRegisterZero:
+    def test_writes_to_r0_are_discarded(self):
+        machine = run_body("addi r0, zero, 99\n add r1, zero, zero")
+        assert machine.regs[0] == 0
+        assert machine.regs[1] == 0
+
+
+class TestMemorySemantics:
+    def test_word_roundtrip(self):
+        machine = run_body("li r1, 0xABCD\n sw r1, 0(zero)\n lw r2, 0(zero)")
+        assert machine.regs[2] == 0xABCD
+
+    def test_byte_store_does_not_clobber_neighbours(self):
+        machine = run("""
+            .data
+w:      .word 0x11223344
+            .text
+start:  li   r1, 0xFF
+        sb   r1, w+1(zero)
+        lw   r2, w(zero)
+        halt
+""")
+        assert machine.regs[2] == 0x1122FF44
+
+    def test_lb_sign_extends(self):
+        machine = run_body("li r1, 0x80\n sb r1, 0(zero)\n lb r2, 0(zero)")
+        assert machine.regs[2] == 0xFFFFFF80
+
+    def test_lbu_zero_extends(self):
+        machine = run_body("li r1, 0x80\n sb r1, 0(zero)\n lbu r2, 0(zero)")
+        assert machine.regs[2] == 0x80
+
+    def test_lh_sign_extends(self):
+        machine = run_body("li r1, 0x8000\n sh r1, 0(zero)\n lh r2, 0(zero)")
+        assert machine.regs[2] == 0xFFFF8000
+
+    def test_lhu_zero_extends(self):
+        machine = run_body("li r1, 0x8000\n sh r1, 0(zero)\n lhu r2, 0(zero)")
+        assert machine.regs[2] == 0x8000
+
+    def test_ram_initialized_from_data_image(self):
+        machine = run("""
+            .data
+v:      .word 1234
+            .text
+start:  lw   r1, v(zero)
+        halt
+""")
+        assert machine.regs[1] == 1234
+
+    def test_uninitialized_ram_reads_zero(self):
+        machine = run_body("lw r1, 32(zero)")
+        assert machine.regs[1] == 0
+
+
+class TestTraps:
+    def test_load_out_of_bounds_raises_memory_fault(self):
+        machine = Machine(assemble(
+            ".text\nstart: lw r1, 1000(zero)\n halt", ram_size=64))
+        with pytest.raises(MemoryFault):
+            machine.run(10)
+        assert machine.halted
+
+    def test_store_out_of_bounds_raises_memory_fault(self):
+        machine = Machine(assemble(
+            ".text\nstart: li r1, -4\n sw r1, 0(r1)", ram_size=64))
+        with pytest.raises(MemoryFault):
+            machine.run(10)
+
+    def test_unaligned_word_access_raises_alignment_fault(self):
+        machine = Machine(assemble(".text\nstart: lw r1, 2(zero)"))
+        with pytest.raises(AlignmentFault):
+            machine.run(10)
+
+    def test_division_by_zero_traps(self):
+        machine = Machine(assemble(".text\nstart: divu r1, r1, zero"))
+        with pytest.raises(ArithmeticTrap):
+            machine.run(10)
+
+    def test_jump_outside_rom_raises_illegal_pc(self):
+        machine = Machine(assemble(".text\nstart: li r1, 999\n jr r1"))
+        with pytest.raises(IllegalPC):
+            machine.run(10)
+
+    def test_trap_records_pc_and_cycle(self):
+        machine = Machine(assemble(".text\nstart: nop\n lw r1, 2(zero)"))
+        with pytest.raises(AlignmentFault) as exc_info:
+            machine.run(10)
+        assert exc_info.value.pc == 1
+        assert exc_info.value.cycle == 1
+
+    def test_stepping_halted_machine_raises(self):
+        machine = Machine(assemble(".text\nstart: halt"))
+        machine.run(10)
+        with pytest.raises(HaltedMachine):
+            machine.step()
+
+
+class TestTimingAndControl:
+    def test_cycle_counts_exactly(self):
+        machine = run(".text\nstart: nop\n nop\n halt")
+        assert machine.cycle == 3
+
+    def test_falling_off_rom_end_halts_cleanly(self):
+        machine = run(".text\nstart: nop\n nop")
+        assert machine.halted
+        assert machine.cycle == 2
+
+    def test_branch_taken_redirects_pc(self):
+        machine = run("""
+            .text
+start:  li   r1, 1
+        bnez r1, skip
+        li   r2, 1
+skip:   halt
+""")
+        assert machine.regs[2] == 0
+
+    def test_jal_links_return_address(self):
+        machine = run("""
+            .text
+start:  jal  r5, target
+target: halt
+""")
+        assert machine.regs[5] == 1
+
+    def test_run_to_cycle_positions_exactly(self):
+        machine = Machine(assemble(".text\nstart: nop\n nop\n nop\n halt"))
+        machine.run_to_cycle(2)
+        assert machine.cycle == 2
+        assert not machine.halted
+
+    def test_run_to_cycle_backwards_rejected(self):
+        machine = Machine(assemble(".text\nstart: nop\n nop\n halt"))
+        machine.run_to_cycle(2)
+        with pytest.raises(ValueError, match="backwards"):
+            machine.run_to_cycle(1)
+
+    def test_determinism_two_runs_identical(self):
+        prog = assemble("""
+            .data
+v:      .word 5
+            .text
+start:  lw   r1, v(zero)
+        addi r1, r1, 1
+        sw   r1, v(zero)
+        out  r1
+        halt
+""")
+        first, second = Machine(prog), Machine(prog)
+        first.run(100)
+        second.run(100)
+        assert first.serial == second.serial
+        assert first.ram == second.ram
+        assert first.cycle == second.cycle
+
+
+class TestDevices:
+    def test_out_writes_low_byte(self):
+        machine = run_body("li r1, 0x1FF\n out r1")
+        assert machine.serial == bytes([0xFF])
+
+    def test_detect_records_cycle_and_code(self):
+        machine = run(".text\nstart: nop\n detect 7\n halt")
+        assert machine.detections == [(2, 7)]
+
+    def test_oracle_divergence_halts_machine(self):
+        prog = assemble(".text\nstart: li r1, 'A'\n out r1\n li r1, 'B'\n"
+                        " out r1\n halt")
+        machine = Machine(prog, oracle=b"AX")
+        machine.run(100)
+        assert machine.diverged
+        assert machine.halted
+        assert machine.serial == b"AB"
+
+    def test_oracle_excess_output_counts_as_divergence(self):
+        prog = assemble(".text\nstart: li r1, 'A'\n out r1\n out r1\n halt")
+        machine = Machine(prog, oracle=b"A")
+        machine.run(100)
+        assert machine.diverged
+
+    def test_matching_oracle_does_not_divert(self):
+        prog = assemble(".text\nstart: li r1, 'A'\n out r1\n halt")
+        machine = Machine(prog, oracle=b"A")
+        machine.run(100)
+        assert not machine.diverged
+        assert machine.halted
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        prog = assemble("""
+            .data
+v:      .word 0
+            .text
+start:  li   r1, 1
+        sw   r1, v(zero)
+        li   r2, 2
+        out  r2
+        halt
+""")
+        machine = Machine(prog)
+        machine.run_to_cycle(2)
+        state = machine.snapshot()
+        machine.run(100)
+        final_serial = bytes(machine.serial)
+        machine.restore(state)
+        assert machine.cycle == 2
+        assert not machine.halted
+        machine.run(100)
+        assert bytes(machine.serial) == final_serial
+
+    def test_snapshot_is_deep(self):
+        prog = assemble(".data\nv: .word 0\n.text\nstart: li r1, 1\n"
+                        " sw r1, v(zero)\n halt")
+        machine = Machine(prog)
+        state = machine.snapshot()
+        machine.run(100)
+        assert machine.ram[0] == 1
+        machine.restore(state)
+        assert machine.ram[0] == 0
+
+    def test_flip_bit_changes_single_bit(self):
+        machine = Machine(assemble(".text\nstart: halt", ram_size=8))
+        machine.flip_bit(3, 5)
+        assert machine.ram[3] == 1 << 5
+        machine.flip_bit(3, 5)
+        assert machine.ram[3] == 0
+
+    def test_flip_bit_validates_arguments(self):
+        machine = Machine(assemble(".text\nstart: halt", ram_size=8))
+        with pytest.raises(ValueError):
+            machine.flip_bit(8, 0)
+        with pytest.raises(ValueError):
+            machine.flip_bit(0, 8)

@@ -1,0 +1,122 @@
+"""Fault-injection semantics of the kernel: what corruption does where.
+
+These tests inject specific faults into kernel state and check the
+failure (or recovery) modes — the mechanism-level behaviour behind the
+campaign-level numbers.
+"""
+
+import pytest
+
+from repro.campaign import (
+    ExperimentExecutor,
+    Outcome,
+    record_golden,
+)
+from repro.faultspace import FaultCoordinate
+from repro.kernel import KernelBuilder
+
+
+def build(protect):
+    kb = KernelBuilder(n_threads=2, protect=protect)
+    kb.add_semaphore("go", initial=0)
+    kb.set_thread_body(0, [
+        "call go_post",
+        "call __yield",
+        "li   r4, 'A'",
+        "out  r4",
+        "halt",
+    ])
+    kb.set_thread_body(1, [
+        "call go_wait",
+        "li   r4, 'B'",
+        "out  r4",
+    ])
+    return kb.build("faultsem" + ("-p" if protect else ""))
+
+
+@pytest.fixture(scope="module")
+def baseline_golden():
+    return record_golden(build(False))
+
+
+@pytest.fixture(scope="module")
+def hardened_golden():
+    return record_golden(build(True))
+
+
+def inject(golden, addr, bit, slot):
+    executor = ExperimentExecutor(golden)
+    return executor.run(FaultCoordinate(slot=slot, addr=addr, bit=bit))
+
+
+class TestBaselineKernelFaults:
+    def test_corrupted_semaphore_count_breaks_the_protocol(
+            self, baseline_golden):
+        """Clearing the posted count (or forging one) desynchronizes the
+        threads; since the main thread halts regardless, the visible
+        failure mode is wrong/missing output (SDC)."""
+        program = baseline_golden.program
+        sem_addr = program.symbol("go")
+        outcomes = {inject(baseline_golden, sem_addr, 0, slot).outcome
+                    for slot in range(2, baseline_golden.cycles)}
+        assert Outcome.SDC in outcomes
+        assert any(o.is_failure for o in outcomes)
+
+    def test_corrupted_cur_tid_crashes_scheduler(self, baseline_golden):
+        """A high bit flipped in the current-thread id sends the TCB
+        address computation into the wild: a CPU exception."""
+        program = baseline_golden.program
+        cur_addr = program.symbol("__cur")
+        outcomes = {inject(baseline_golden, cur_addr + 2, 7, slot).outcome
+                    for slot in range(1, baseline_golden.cycles, 7)}
+        assert Outcome.CPU_EXCEPTION in outcomes
+
+    def test_most_faults_in_unused_stack_are_benign(self, baseline_golden):
+        program = baseline_golden.program
+        stack_addr = program.symbol("__stack0")
+        record = inject(baseline_golden, stack_addr + 8, 3, 1)
+        assert record.outcome is Outcome.NO_EFFECT
+
+
+class TestHardenedKernelFaults:
+    def test_corrupted_semaphore_is_corrected(self, hardened_golden):
+        """The same semaphore corruption is detected and repaired by the
+        SUM+DMR guard."""
+        program = hardened_golden.program
+        sem_addr = program.symbol("go")
+        benign = 0
+        total = 0
+        for slot in range(2, hardened_golden.cycles, 3):
+            outcome = inject(hardened_golden, sem_addr, 0, slot).outcome
+            total += 1
+            if outcome.is_benign:
+                benign += 1
+        assert benign / total > 0.8
+
+    def test_corrupted_tid_mostly_detected(self, hardened_golden):
+        """Corrupting the protected current-thread word is overwhelmingly
+        caught and repaired; only the tiny windows between a guard check
+        and the guarded use can escape."""
+        program = hardened_golden.program
+        cur_addr = program.symbol("__cur")
+        outcomes = []
+        for slot in range(1, hardened_golden.cycles, 11):
+            for bit in (0, 7):
+                outcomes.append(inject(hardened_golden, cur_addr + 2,
+                                       bit, slot).outcome)
+        benign = sum(1 for o in outcomes if o.is_benign)
+        corrected = sum(1 for o in outcomes
+                        if o is Outcome.DETECTED_CORRECTED)
+        assert benign / len(outcomes) > 0.8
+        assert corrected > 0
+
+    def test_replica_corruption_is_harmless(self, hardened_golden):
+        """Single faults in the replica never cause failures: the
+        primary's checksum still matches."""
+        program = hardened_golden.program
+        sem_addr = program.symbol("go")
+        replica_addr = sem_addr + 4 * 4  # SYNC_WORDS words later
+        for slot in range(1, hardened_golden.cycles, 5):
+            outcome = inject(hardened_golden, replica_addr, 2,
+                             slot).outcome
+            assert outcome.is_benign, slot

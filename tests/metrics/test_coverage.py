@@ -1,0 +1,69 @@
+"""Tests for the fault-coverage metric variants."""
+
+import pytest
+
+from repro.campaign import CampaignSummary, record_golden, run_full_scan, \
+    run_sampling
+from repro.metrics import (
+    activated_only_coverage,
+    coverage_from_counts,
+    sampled_coverage,
+    unweighted_coverage,
+    weighted_coverage,
+)
+from repro.programs import hi
+
+
+@pytest.fixture(scope="module")
+def hi_scan():
+    return run_full_scan(record_golden(hi.baseline()))
+
+
+class TestCoverageFromCounts:
+    def test_basic(self):
+        assert coverage_from_counts(48, 128) == pytest.approx(0.625)
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            coverage_from_counts(5, 0)
+        with pytest.raises(ValueError):
+            coverage_from_counts(-1, 10)
+        with pytest.raises(ValueError):
+            coverage_from_counts(11, 10)
+
+
+class TestCoverageVariants:
+    def test_weighted_coverage_of_hi_is_paper_value(self, hi_scan):
+        assert weighted_coverage(hi_scan) == pytest.approx(0.625)
+
+    def test_accepts_summary_and_result(self, hi_scan):
+        summary = CampaignSummary.from_result(hi_scan)
+        assert weighted_coverage(summary) == weighted_coverage(hi_scan)
+        assert unweighted_coverage(summary) == unweighted_coverage(hi_scan)
+
+    def test_unweighted_uses_experiment_counts(self, hi_scan):
+        # The Hi benchmark: every conducted experiment fails (all live
+        # data goes straight to the output), so unweighted coverage is 0.
+        assert unweighted_coverage(hi_scan) == pytest.approx(0.0)
+
+    def test_activated_only_excludes_dead_weight(self, hi_scan):
+        # Activated-only population is the live weight (2 bytes * 3
+        # cycles * 8 bits = 48), all of which fail.
+        assert activated_only_coverage(hi_scan) == pytest.approx(0.0)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            weighted_coverage(42)
+
+
+class TestSampledCoverage:
+    def test_sampled_estimates_weighted_coverage(self, hi_scan):
+        result = run_sampling(hi_scan.golden, 2000, seed=0)
+        estimate = sampled_coverage(result)
+        assert estimate == pytest.approx(0.625, abs=0.05)
+
+    def test_live_only_sampling_estimates_activated_coverage(self,
+                                                             hi_scan):
+        result = run_sampling(hi_scan.golden, 500, seed=0,
+                              sampler="live-only")
+        assert sampled_coverage(result) == pytest.approx(0.0)

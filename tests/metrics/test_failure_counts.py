@@ -1,0 +1,98 @@
+"""Tests for absolute failure counts and extrapolation."""
+
+import pytest
+
+from repro.campaign import Outcome, record_golden, run_full_scan, \
+    run_sampling
+from repro.metrics import (
+    extrapolated_failure_count,
+    failure_count,
+    raw_sample_failure_count,
+    unweighted_failure_count,
+    weighted_failure_count,
+)
+from repro.programs import hi
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return record_golden(hi.baseline())
+
+
+@pytest.fixture(scope="module")
+def scan(golden):
+    return run_full_scan(golden)
+
+
+class TestWeightedFailureCount:
+    def test_hi_failure_count_is_48(self, scan):
+        count = weighted_failure_count(scan)
+        assert count.total == 48
+        assert count.exact
+        assert count.population == 128
+
+    def test_breakdown_by_mode_sums_to_total(self, scan):
+        count = weighted_failure_count(scan)
+        assert sum(count.by_mode.values()) == count.total
+        assert all(o.is_failure for o in count.by_mode)
+
+    def test_benign_mode_lookup_rejected(self, scan):
+        count = weighted_failure_count(scan)
+        with pytest.raises(ValueError, match="benign"):
+            count.mode(Outcome.NO_EFFECT)
+
+    def test_missing_failure_mode_reads_zero(self, scan):
+        count = weighted_failure_count(scan)
+        assert count.mode(Outcome.TIMEOUT) == 0.0
+
+
+class TestUnweightedFailureCount:
+    def test_counts_experiments_not_weights(self, scan):
+        count = unweighted_failure_count(scan)
+        # 6 live classes (2 bytes * 3 reads? no: 2 bytes, 1 read each)
+        # -> 16 experiments, all failing.
+        assert count.total == scan.experiments_conducted - sum(
+            n for o, n in scan.raw_counts().items() if o.is_benign)
+        assert not count.exact
+
+
+class TestExtrapolation:
+    def test_extrapolated_count_converges_to_exact(self, golden, scan):
+        exact = weighted_failure_count(scan).total
+        result = run_sampling(golden, 4000, seed=1)
+        estimate = extrapolated_failure_count(result)
+        assert estimate.population == 128
+        assert estimate.total == pytest.approx(exact, rel=0.15)
+
+    def test_extrapolation_scales_by_population_over_n(self, golden):
+        result = run_sampling(golden, 64, seed=2)
+        raw = raw_sample_failure_count(result)
+        extrapolated = extrapolated_failure_count(result)
+        scale = result.population / result.n_samples
+        assert extrapolated.total == pytest.approx(raw.total * scale)
+
+    def test_live_only_sampling_extrapolates_to_w_prime(self, golden):
+        partition = golden.partition()
+        result = run_sampling(golden, 100, seed=3, sampler="live-only",
+                              partition=partition)
+        estimate = extrapolated_failure_count(result)
+        assert estimate.population == partition.live_weight
+        # All live Hi coordinates fail, so the estimate is exactly w'.
+        assert estimate.total == pytest.approx(partition.live_weight)
+
+    def test_per_mode_extrapolation(self, golden):
+        result = run_sampling(golden, 200, seed=4)
+        estimate = extrapolated_failure_count(result)
+        assert sum(estimate.by_mode.values()) == pytest.approx(
+            estimate.total)
+
+
+class TestDispatch:
+    def test_failure_count_dispatches_on_type(self, golden, scan):
+        assert failure_count(scan).exact
+        sampled = failure_count(run_sampling(golden, 50, seed=5))
+        assert not sampled.exact
+
+    def test_failure_count_rejects_junk(self):
+        with pytest.raises(TypeError):
+            failure_count("nope")

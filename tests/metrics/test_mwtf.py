@@ -1,0 +1,55 @@
+"""Tests for the MWTF related-work metric."""
+
+import math
+
+import pytest
+
+from repro.campaign import record_golden, run_full_scan
+from repro.isa import assemble
+from repro.metrics import compare, mwtf, mwtf_ratio
+from repro.programs import hi
+
+
+@pytest.fixture(scope="module")
+def baseline_scan():
+    return run_full_scan(record_golden(hi.baseline()))
+
+
+@pytest.fixture(scope="module")
+def dft_scan():
+    return run_full_scan(record_golden(hi.dft_variant(4)))
+
+
+class TestMwtf:
+    def test_mwtf_is_inverse_of_expected_failures(self, baseline_scan):
+        rate = 1e-12
+        value = mwtf(baseline_scan, rate=rate)
+        assert value == pytest.approx(1.0 / (rate * 48))
+
+    def test_zero_failure_variant_has_infinite_mwtf(self):
+        inert = assemble(".text\nstart: li r1, 'z'\n out r1\n halt",
+                         ram_size=1)
+        scan = run_full_scan(record_golden(inert))
+        assert math.isinf(mwtf(scan))
+
+    def test_invalid_arguments_rejected(self, baseline_scan):
+        with pytest.raises(ValueError):
+            mwtf(baseline_scan, rate=0)
+        with pytest.raises(ValueError):
+            mwtf(baseline_scan, work_units=0)
+
+
+class TestMwtfRatio:
+    def test_consistent_with_comparison_ratio(self, baseline_scan,
+                                              dft_scan):
+        """Section VII: with equal work units, MWTF ranks like 1/r."""
+        r = compare(baseline_scan, dft_scan).ratio
+        assert mwtf_ratio(baseline_scan, dft_scan) == pytest.approx(1 / r)
+
+    def test_infinite_cases(self, baseline_scan):
+        inert = assemble(".text\nstart: li r1, 'z'\n out r1\n halt",
+                         ram_size=1)
+        inert_scan = run_full_scan(record_golden(inert))
+        assert mwtf_ratio(baseline_scan, inert_scan) == math.inf
+        assert mwtf_ratio(inert_scan, baseline_scan) == 0.0
+        assert mwtf_ratio(inert_scan, inert_scan) == 1.0

@@ -1,0 +1,119 @@
+"""Tests for the Poisson fault model and Table I parametrization."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    PAPER_RATE_PER_BIT_CYCLE,
+    PUBLISHED_FIT_PER_MBIT,
+    PoissonFaultModel,
+    fit_to_rate_per_bit_cycle,
+    mean_published_rate,
+    paper_table1_model,
+)
+
+
+class TestRateConversion:
+    def test_paper_rate_magnitude(self):
+        # The paper computes g ≈ 1.6e-29 per ns per bit at 1 GHz.
+        assert PAPER_RATE_PER_BIT_CYCLE == pytest.approx(1.583e-29,
+                                                         rel=0.01)
+
+    def test_mean_of_published_rates(self):
+        assert sum(PUBLISHED_FIT_PER_MBIT) / 3 == pytest.approx(0.057)
+        assert mean_published_rate() == PAPER_RATE_PER_BIT_CYCLE
+
+    def test_slower_clock_scales_rate_per_cycle(self):
+        # At 0.5 GHz a cycle lasts 2 ns, so the per-cycle rate doubles.
+        fast = fit_to_rate_per_bit_cycle(0.057, clock_hz=1e9)
+        slow = fit_to_rate_per_bit_cycle(0.057, clock_hz=0.5e9)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_negative_fit_rejected(self):
+        with pytest.raises(ValueError):
+            fit_to_rate_per_bit_cycle(-1.0)
+
+
+class TestPoissonModel:
+    def test_table1_lambda(self):
+        model = paper_table1_model()
+        # λ = g · 1e9 cycles · 2^20 bits ≈ 1.66e-14.
+        assert model.lam == pytest.approx(1.66e-14, rel=0.01)
+
+    def test_zero_faults_is_near_certain(self):
+        model = paper_table1_model()
+        assert model.p_faults(0) == pytest.approx(1.0, abs=1e-12)
+
+    def test_probabilities_decay_fast(self):
+        model = paper_table1_model()
+        rows = model.table_rows(5)
+        assert [k for k, _ in rows] == [0, 1, 2, 3, 4, 5]
+        for (_, p_k), (_, p_next) in zip(rows[1:], rows[2:]):
+            assert p_next < p_k * 1e-12
+
+    def test_single_fault_dominance(self):
+        model = paper_table1_model()
+        assert model.single_fault_dominance() == pytest.approx(
+            2.0 / model.lam)
+        # Paper footnote: even at g = 1e-20, still more than 1e4.
+        hypothetical = PoissonFaultModel(
+            rate=1e-20, fault_space_size=10 ** 9 * 2 ** 20)
+        assert hypothetical.single_fault_dominance() > 1e4
+
+    def test_distribution_sums_to_one(self):
+        model = PoissonFaultModel(rate=1e-3, fault_space_size=1000)
+        total = math.fsum(model.p_faults(k) for k in range(50))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_p_at_least_complements_prefix(self):
+        model = PoissonFaultModel(rate=1e-3, fault_space_size=1000)
+        assert model.p_at_least(0) == 1.0
+        assert model.p_at_least(1) == pytest.approx(
+            1.0 - model.p_faults(0))
+
+    def test_zero_rate_degenerates(self):
+        model = PoissonFaultModel(rate=0.0, fault_space_size=10)
+        assert model.p_faults(0) == 1.0
+        assert model.p_faults(3) == 0.0
+        assert model.single_fault_dominance() == math.inf
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonFaultModel(rate=-1.0, fault_space_size=10)
+        with pytest.raises(ValueError):
+            PoissonFaultModel(rate=1.0, fault_space_size=0)
+        with pytest.raises(ValueError):
+            paper_table1_model().p_faults(-1)
+
+
+class TestFailureProbability:
+    def test_equation_5(self):
+        model = paper_table1_model()
+        F = 12345
+        expected = F * model.rate * math.exp(-model.lam)
+        assert model.failure_probability(F) == pytest.approx(expected)
+
+    def test_proportionality_error_is_negligible(self):
+        # Eq. 6: assuming e^{-gw} ≈ 1 errs by less than 1e-12.
+        assert paper_table1_model().proportionality_error() < 1e-12
+
+    def test_failure_count_bounds_enforced(self):
+        model = PoissonFaultModel(rate=1e-9, fault_space_size=100)
+        with pytest.raises(ValueError):
+            model.failure_probability(-1)
+        with pytest.raises(ValueError):
+            model.failure_probability(101)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=10 ** 6))
+    def test_proportionality_to_f(self, f, extra):
+        """P(Failure) is strictly proportional to F at fixed w."""
+        model = PoissonFaultModel(rate=1e-25,
+                                  fault_space_size=2 * 10 ** 6)
+        p1 = model.failure_probability(f)
+        p2 = model.failure_probability(f + extra)
+        assert p2 >= p1
+        if f > 0:
+            assert p2 / p1 == pytest.approx((f + extra) / f)

@@ -1,0 +1,63 @@
+"""Tests for the "Hi" benchmark: the paper's exact Section IV numbers."""
+
+import pytest
+
+from repro.campaign import record_golden, run_full_scan
+from repro.metrics import weighted_coverage, weighted_failure_count
+from repro.programs import hi
+
+
+class TestBaseline:
+    def test_eight_instructions_eight_cycles(self):
+        program = hi.baseline()
+        assert program.rom_size == 8
+        golden = record_golden(program)
+        assert golden.cycles == 8
+        assert golden.output == b"Hi"
+
+    def test_fault_space_is_128(self):
+        golden = record_golden(hi.baseline())
+        assert golden.fault_space.size == 128
+
+    def test_paper_coverage_62_5(self):
+        scan = run_full_scan(record_golden(hi.baseline()))
+        assert weighted_coverage(scan) == pytest.approx(0.625)
+
+    def test_paper_failure_count_48(self):
+        scan = run_full_scan(record_golden(hi.baseline()))
+        assert weighted_failure_count(scan).total == 48
+
+
+class TestDftVariants:
+    def test_dft_coverage_75(self):
+        scan = run_full_scan(record_golden(hi.dft_variant(4)))
+        assert weighted_coverage(scan) == pytest.approx(0.75)
+
+    def test_dft_failure_count_unchanged(self):
+        scan = run_full_scan(record_golden(hi.dft_variant(4)))
+        assert weighted_failure_count(scan).total == 48
+
+    def test_more_nops_more_coverage(self):
+        small = run_full_scan(record_golden(hi.dft_variant(4)))
+        large = run_full_scan(record_golden(hi.dft_variant(24)))
+        assert weighted_coverage(large) > weighted_coverage(small)
+        assert weighted_coverage(large) < 1.0
+        assert weighted_failure_count(large).total == 48
+
+    def test_dft_prime_same_coverage_as_dft(self):
+        dft = run_full_scan(record_golden(hi.dft_variant(4)))
+        prime = run_full_scan(record_golden(hi.dft_prime_variant(4)))
+        assert weighted_coverage(prime) == pytest.approx(
+            weighted_coverage(dft))
+        assert weighted_failure_count(prime).total == 48
+
+    def test_memory_dilution_also_inflates_coverage(self):
+        base = run_full_scan(record_golden(hi.baseline()))
+        diluted = run_full_scan(record_golden(
+            hi.memory_diluted_variant(2)))
+        assert weighted_coverage(diluted) > weighted_coverage(base)
+        assert weighted_failure_count(diluted).total == 48
+
+    def test_memory_dilution_validates_input(self):
+        with pytest.raises(ValueError):
+            hi.memory_diluted_variant(-1)

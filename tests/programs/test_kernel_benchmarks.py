@@ -1,0 +1,95 @@
+"""Tests for the bin_sem2/sync2 kernel-test analogs.
+
+Full campaigns on the default sizes are benchmark-harness material; the
+tests here use reduced sizes to stay fast while checking the same
+structure.
+"""
+
+import pytest
+
+from repro.campaign import record_golden
+from repro.programs import bin_sem2, sync2
+from repro.programs.registry import (
+    all_programs,
+    hi_variants,
+    micro_programs,
+    paper_pairs,
+)
+
+
+class TestBinSem2:
+    def test_golden_output(self):
+        golden = record_golden(bin_sem2.baseline(rounds=2))
+        assert golden.output == b"kk!"
+
+    def test_hardened_same_output(self):
+        base = record_golden(bin_sem2.baseline(rounds=2))
+        hard = record_golden(bin_sem2.hardened(rounds=2))
+        assert hard.output == base.output
+
+    def test_hardened_overhead(self):
+        base = bin_sem2.baseline(rounds=2)
+        hard = bin_sem2.hardened(rounds=2)
+        assert hard.ram_size > base.ram_size
+        assert record_golden(hard).cycles > record_golden(base).cycles
+
+    def test_rounds_scale_runtime(self):
+        short = record_golden(bin_sem2.baseline(rounds=1))
+        long = record_golden(bin_sem2.baseline(rounds=4))
+        assert long.cycles > short.cycles
+        assert long.output == b"kkkk!"
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            bin_sem2.baseline(rounds=0)
+
+
+class TestSync2:
+    def test_golden_output(self):
+        golden = record_golden(sync2.baseline(items=3))
+        assert golden.output == b"p.p.p.!"
+
+    def test_hardened_same_output(self):
+        base = record_golden(sync2.baseline(items=3))
+        hard = record_golden(sync2.hardened(items=3))
+        assert hard.output == base.output
+
+    def test_hardened_runtime_blowup(self):
+        """The paper's Figure 2(g) shape: sync2's hardened runtime is
+        several times the baseline's."""
+        base = record_golden(sync2.baseline(items=3))
+        hard = record_golden(sync2.hardened(items=3))
+        assert hard.cycles > 2.5 * base.cycles
+
+    def test_expected_accumulator(self):
+        assert sync2.expected_accumulator(3) == 7 * 6
+        assert sync2.expected_accumulator(10) == 7 * 55
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValueError):
+            sync2.baseline(items=0)
+
+
+class TestRegistry:
+    def test_paper_pairs_cover_both_benchmarks(self):
+        pairs = paper_pairs()
+        assert [p.name for p in pairs] == ["bin_sem2", "sync2"]
+        for pair in pairs:
+            assert pair.baseline().name == pair.name
+            assert "sumdmr" in pair.hardened().name
+
+    def test_all_programs_assemble_and_have_unique_names(self):
+        programs = all_programs()
+        assert len(programs) >= 10
+        names = [thunk().name for thunk in programs.values()]
+        assert len(set(names)) == len(names)
+
+    def test_hi_variants_present(self):
+        assert set(hi_variants()) == {
+            "hi", "hi-dft4", "hi-dftprime4", "hi-mem2"}
+
+    def test_micro_programs_run_clean(self):
+        for name, thunk in micro_programs().items():
+            golden = record_golden(thunk())
+            assert golden.cycles > 0, name
+            assert golden.output, name

@@ -1,0 +1,51 @@
+"""Tests for the single-threaded micro-benchmarks."""
+
+import pytest
+
+from repro.campaign import record_golden
+from repro.programs import micro
+
+
+class TestCounter:
+    def test_counts_to_n(self):
+        golden = record_golden(micro.counter(5))
+        assert golden.output == bytes([5])
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            micro.counter(0)
+        with pytest.raises(ValueError):
+            micro.counter(256)
+
+
+class TestMemcopy:
+    def test_copies_alphabet_prefix(self):
+        golden = record_golden(micro.memcopy(5))
+        assert golden.output == b"abcde"
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            micro.memcopy(0)
+        with pytest.raises(ValueError):
+            micro.memcopy(27)
+
+
+class TestChecksumLoop:
+    def test_prints_low_byte_of_sum(self):
+        golden = record_golden(micro.checksum_loop(4))
+        expected = sum((i * 37 + 11) & 0xFF for i in range(4)) & 0xFF
+        assert golden.output == bytes([expected])
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            micro.checksum_loop(17)
+
+
+class TestStackEcho:
+    def test_pops_in_reverse(self):
+        golden = record_golden(micro.stack_echo(3))
+        assert golden.output == bytes([ord("C"), ord("B"), ord("A")])
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            micro.stack_echo(0)

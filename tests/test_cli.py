@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "P(k faults)" in out
+
+    def test_list(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "hi" in out
+        assert "bin_sem2" in out
+        assert "sync2-sumdmr" in out
+
+    def test_scan_hi(self, capsys):
+        main(["scan", "hi"])
+        out = capsys.readouterr().out
+        assert "62.50%" in out
+        assert "F: 48" in out
+
+    def test_render_hi(self, capsys):
+        main(["render", "hi"])
+        out = capsys.readouterr().out
+        assert "W##R" in out
+
+    def test_fig3(self, capsys):
+        main(["fig3"])
+        out = capsys.readouterr().out
+        assert "62.5%" in out and "75.0%" in out
+
+    def test_unknown_program_exits_with_hint(self):
+        with pytest.raises(SystemExit, match="unknown program"):
+            main(["scan", "nonsense"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
