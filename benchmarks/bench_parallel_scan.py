@@ -1,0 +1,94 @@
+"""Serial vs. parallel campaign wall-clock: the multi-process engine.
+
+Measures a def/use-pruned full scan of the largest Figure 2 benchmark
+(sync2) executed serially and with the slot-sharded multiprocessing
+engine over a range of worker counts, writing the scaling curve to
+``output/parallel_scan.txt``.  Every parallel run is also checked for
+bit-for-bit equivalence with the serial result — speed must never buy
+back exactness.
+
+Scale knobs (environment):
+
+``REPRO_BENCH_PARALLEL_SCALE=full``
+    Paper-scale sync2 (items=10) instead of the quick default (items=4).
+``REPRO_BENCH_PARALLEL_JOBS``
+    Comma-separated worker counts (default: ``1,2,4`` plus the CPU count
+    when larger).
+
+The ≥2× speedup assertion at 4 workers only applies on machines with at
+least 4 usable CPUs — a container pinned to one core cannot exhibit
+multi-core scaling, but still exercises (and verifies) the engine.
+"""
+
+import os
+import time
+
+from repro.campaign import record_golden, run_full_scan
+from repro.programs import sync2
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _worker_counts() -> list[int]:
+    raw = os.environ.get("REPRO_BENCH_PARALLEL_JOBS")
+    if raw:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    counts = [1, 2, 4]
+    cpus = _usable_cpus()
+    if cpus > 4:
+        counts.append(cpus)
+    return counts
+
+
+def test_parallel_scan_scaling(output_dir):
+    full_scale = os.environ.get("REPRO_BENCH_PARALLEL_SCALE") == "full"
+    program = sync2.baseline() if full_scale else sync2.baseline(4)
+    golden = record_golden(program)
+    partition = golden.partition()
+
+    start = time.perf_counter()
+    serial = run_full_scan(golden, partition=partition)
+    t_serial = time.perf_counter() - start
+
+    rows = [("serial", 1, t_serial, 1.0)]
+    speedups = {}
+    for jobs in _worker_counts():
+        start = time.perf_counter()
+        parallel = run_full_scan(golden, partition=partition, jobs=jobs)
+        t_parallel = time.perf_counter() - start
+        assert list(parallel.class_outcomes.items()) \
+            == list(serial.class_outcomes.items()), jobs
+        assert parallel.weighted_counts() == serial.weighted_counts(), jobs
+        speedups[jobs] = t_serial / t_parallel
+        rows.append((f"jobs={jobs}", jobs, t_parallel, speedups[jobs]))
+
+    cpus = _usable_cpus()
+    lines = [
+        f"parallel full scan of {program.name} "
+        f"({'paper' if full_scale else 'quick'} scale)",
+        f"Δt={golden.cycles} cycles, Δm={program.ram_size} bytes, "
+        f"{len(partition.live_classes())} live classes, "
+        f"{partition.experiment_count} experiments",
+        f"usable CPUs: {cpus}",
+        "",
+        f"{'engine':10s} {'workers':>7s} {'wall-clock':>11s} "
+        f"{'speedup':>8s}",
+        "-" * 40,
+    ]
+    for label, jobs, elapsed, speedup in rows:
+        lines.append(f"{label:10s} {jobs:7d} {elapsed:10.3f}s "
+                     f"{speedup:7.2f}x")
+    report = "\n".join(lines) + "\n"
+    (output_dir / "parallel_scan.txt").write_text(report)
+    print()
+    print(report)
+
+    if cpus >= 4 and 4 in speedups:
+        assert speedups[4] >= 2.0, (
+            f"expected >= 2x speedup at 4 workers on a {cpus}-CPU "
+            f"machine, measured {speedups[4]:.2f}x")

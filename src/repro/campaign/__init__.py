@@ -10,9 +10,11 @@ from .database import (
 from .experiment import (
     DEFAULT_TIMEOUT_FACTOR,
     DEFAULT_TIMEOUT_SLACK,
+    ExecutorConfig,
     ExperimentExecutor,
     ExperimentRecord,
 )
+from .parallel import ParallelCampaign, resolve_jobs
 from .golden import (
     DEFAULT_GOLDEN_CYCLE_LIMIT,
     GoldenRun,
@@ -55,9 +57,12 @@ __all__ = [
     "DEFAULT_GOLDEN_CYCLE_LIMIT",
     "DEFAULT_TIMEOUT_FACTOR",
     "DEFAULT_TIMEOUT_SLACK",
+    "ExecutorConfig",
     "ExperimentExecutor",
     "ExperimentRecord",
     "FAILURE_OUTCOMES",
+    "ParallelCampaign",
+    "resolve_jobs",
     "GoldenRun",
     "GoldenRunError",
     "Outcome",

@@ -38,6 +38,31 @@ DEFAULT_TIMEOUT_SLACK = 256
 
 
 @dataclass(frozen=True)
+class ExecutorConfig:
+    """Picklable executor settings.
+
+    Executors themselves are not picklable (they own live machines), so
+    the parallel campaign engine ships this config to worker processes
+    and rebuilds one executor per worker via :meth:`build`.
+    """
+
+    timeout_factor: float = DEFAULT_TIMEOUT_FACTOR
+    timeout_slack: int = DEFAULT_TIMEOUT_SLACK
+    use_snapshots: bool = True
+    early_stop: bool = True
+
+    def build(self, golden: "GoldenRun",
+              executor_class: type | None = None) -> "ExperimentExecutor":
+        """Construct an executor for ``golden`` with these settings."""
+        cls = executor_class or ExperimentExecutor
+        return cls(golden,
+                   timeout_factor=self.timeout_factor,
+                   timeout_slack=self.timeout_slack,
+                   use_snapshots=self.use_snapshots,
+                   early_stop=self.early_stop)
+
+
+@dataclass(frozen=True)
 class ExperimentRecord:
     """The result of one fault-injection experiment."""
 

@@ -1,0 +1,321 @@
+"""Parallel campaign engine: multi-process FI with slot-sharded snapshot reuse.
+
+Fault-injection experiments are embarrassingly parallel — each one is a
+deterministic function of the golden run and a fault coordinate — so
+campaigns shard across a :mod:`multiprocessing` worker pool.  Two design
+rules keep the parallel engine exactly as exact as the serial one:
+
+* **One executor per worker.**  :class:`~.experiment.ExperimentExecutor`
+  is documented as not thread-safe; every worker process builds its own
+  from a pickled :class:`~.experiment.ExecutorConfig` in the pool
+  initializer.
+* **Contiguous slot shards.**  The executor's snapshot fast-forward
+  (:meth:`ExperimentExecutor._state_at`) only pays off when experiments
+  arrive in ascending injection-slot order.  Work is therefore split into
+  *contiguous slot ranges*: worker *k* fast-forwards its pristine machine
+  once to the start of its range and then advances monotonically, instead
+  of rewinding on every interleaved experiment that round-robin dispatch
+  would cause.
+
+Shards are balanced by estimated cost, not class count: an experiment
+injected at slot *t* replays roughly ``Δt − t + 1`` post-injection cycles,
+so early-slot classes are far more expensive than late ones (see
+:func:`class_cost`).
+
+Results are merged in shard order, which reproduces the serial runner's
+iteration order — ``class_outcomes`` dictionaries, record lists, sample
+sequences and all derived counts are bit-for-bit identical to the serial
+path regardless of worker count or OS scheduling.
+
+Pickling constraints (fork *and* spawn start methods are supported):
+everything crossing the process boundary must be picklable.  That is
+``GoldenRun`` (thus ``Program``, ``Instruction``, ``MemoryTrace``),
+``ExecutorConfig``, ``ByteInterval``, ``FaultCoordinate`` and
+``Outcome`` — all plain dataclasses or enums.  Executors and ``Machine``
+instances never cross the boundary; they are rebuilt per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Iterator, Sequence
+
+from ..faultspace.defuse import ByteInterval, DefUsePartition, LIVE
+from ..faultspace.model import FaultCoordinate
+from .experiment import ExecutorConfig, ExperimentExecutor, ExperimentRecord
+from .golden import GoldenRun
+from .outcomes import Outcome
+
+ProgressCallback = Callable[[int, int], None]
+
+
+def resolve_jobs(jobs: int | None) -> int | None:
+    """Normalize a ``jobs`` parameter.
+
+    ``None`` means "serial path" and is returned unchanged; ``0`` means
+    "one worker per CPU"; any positive value is taken literally.
+    """
+    if jobs is None:
+        return None
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+# -- load balancing -----------------------------------------------------------
+
+
+def class_cost(interval: ByteInterval, total_cycles: int,
+               bits: int = 8) -> int:
+    """Estimated post-injection cycle cost of one live class.
+
+    Each of the class's ``bits`` experiments resumes at the
+    representative injection slot and replays up to the remaining
+    runtime, so the dominant term is ``bits × (Δt − slot + 1)``.  The
+    interval length is added on top for the snapshot fast-forward that
+    walks the pristine machine across the class's slot span.  Balancing
+    shards by this estimate instead of class count keeps workers evenly
+    loaded even though early-slot classes are many times more expensive
+    than late-slot ones.
+    """
+    remaining = total_cycles - interval.injection_slot + 1
+    return bits * max(1, remaining) + interval.length
+
+
+def shard_by_cost(items: Sequence, costs: Sequence[int],
+                  jobs: int) -> list[list]:
+    """Split ``items`` into at most ``jobs`` contiguous cost-balanced runs.
+
+    ``items`` must already be in execution order (ascending injection
+    slot); contiguity is what preserves the per-worker snapshot
+    fast-forward.  The *k*-th cut is placed where the cumulative cost
+    first reaches ``k/jobs`` of the total.
+    """
+    items = list(items)
+    if not items:
+        return []
+    jobs = min(jobs, len(items))
+    if jobs <= 1:
+        return [items]
+    total = sum(costs)
+    if total <= 0:
+        total = len(items)
+        costs = [1] * len(items)
+    shards: list[list] = []
+    current: list = []
+    acc = 0
+    for item, cost in zip(items, costs):
+        current.append(item)
+        acc += cost
+        if len(shards) < jobs - 1 and acc * jobs >= (len(shards) + 1) * total:
+            shards.append(current)
+            current = []
+    if current:
+        shards.append(current)
+    return shards
+
+
+# -- worker side --------------------------------------------------------------
+
+#: Per-worker executor, built once by :func:`_init_worker`.  Module-level
+#: because pool workers can only share state through globals.
+_WORKER_EXECUTOR: ExperimentExecutor | None = None
+
+
+def _init_worker(golden: GoldenRun, config: ExecutorConfig) -> None:
+    """Pool initializer: build this worker's private executor."""
+    global _WORKER_EXECUTOR
+    _WORKER_EXECUTOR = config.build(golden)
+
+
+def _scan_shard(task):
+    """Run one contiguous shard of live classes (full-scan worker)."""
+    index, intervals, keep_records = task
+    executor = _WORKER_EXECUTOR
+    pairs = []
+    records: list[ExperimentRecord] = []
+    for interval in intervals:
+        results = [executor.run(coord) for coord in interval.experiments()]
+        pairs.append(((interval.addr, interval.first_slot),
+                      tuple(record.outcome for record in results)))
+        if keep_records:
+            records.extend(results)
+    return index, pairs, records
+
+
+def _brute_shard(task):
+    """Run every raw coordinate in one contiguous slot range."""
+    index, slot_lo, slot_hi = task
+    executor = _WORKER_EXECUTOR
+    space = executor.golden.fault_space
+    out = []
+    for slot in range(slot_lo, slot_hi + 1):
+        for addr in range(space.ram_bytes):
+            for bit in range(8):
+                coord = FaultCoordinate(slot=slot, addr=addr, bit=bit)
+                out.append((coord, executor.run(coord).outcome))
+    return index, out
+
+
+def _sampling_shard(task):
+    """Run one shard of distinct (class, bit) representative experiments."""
+    index, keyed = task
+    executor = _WORKER_EXECUTOR
+    return index, [(key, executor.run(coord).outcome)
+                   for key, coord in keyed]
+
+
+# -- driver -------------------------------------------------------------------
+
+
+class ParallelCampaign:
+    """Multi-process campaign driver over one golden run.
+
+    Dispatches contiguous slot-range shards to a worker pool and merges
+    the results into the same result types — and the same iteration
+    order — as the serial runner.  ``jobs=1`` executes the sharded code
+    path inline in the current process (useful for debugging and for
+    equivalence tests without pool overhead); ``jobs=0`` uses one worker
+    per CPU.
+    """
+
+    def __init__(self, golden: GoldenRun, jobs: int = 0, *,
+                 executor_config: ExecutorConfig | None = None):
+        resolved = resolve_jobs(jobs)
+        if resolved is None:
+            raise ValueError("ParallelCampaign needs a concrete job count; "
+                             "use the serial runner for jobs=None")
+        self.golden = golden
+        self.jobs = resolved
+        self.config = executor_config or ExecutorConfig()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _map_shards(self, worker: Callable, tasks: list) -> Iterator:
+        """Yield ``worker(task)`` results, unordered, from the pool.
+
+        With one job (or one task) everything runs inline — no processes,
+        no pickling — but through the exact same shard functions.
+        """
+        if not tasks:
+            return
+        processes = min(self.jobs, len(tasks))
+        if processes <= 1:
+            _init_worker(self.golden, self.config)
+            for task in tasks:
+                yield worker(task)
+            return
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=processes, initializer=_init_worker,
+                      initargs=(self.golden, self.config)) as pool:
+            yield from pool.imap_unordered(worker, tasks)
+
+    # -- campaign styles -----------------------------------------------------
+
+    def run_full_scan(self, *, partition: DefUsePartition | None = None,
+                      keep_records: bool = False,
+                      progress: ProgressCallback | None = None):
+        """Def/use-pruned full scan, sharded across the pool."""
+        from .runner import CampaignResult
+
+        golden = self.golden
+        if partition is None:
+            partition = golden.partition()
+        live = partition.live_classes()  # sorted by injection slot
+        shards = shard_by_cost(
+            live, [class_cost(iv, golden.cycles) for iv in live], self.jobs)
+        tasks = [(index, shard, keep_records)
+                 for index, shard in enumerate(shards)]
+        by_index: dict[int, tuple] = {}
+        done = 0
+        for index, pairs, records in self._map_shards(_scan_shard, tasks):
+            by_index[index] = (pairs, records)
+            done += len(pairs)
+            if progress is not None:
+                progress(done, len(live))
+        class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
+        records: list[ExperimentRecord] = []
+        for index in range(len(tasks)):
+            pairs, shard_records = by_index[index]
+            for key, outcomes in pairs:
+                class_outcomes[key] = outcomes
+            records.extend(shard_records)
+        return CampaignResult(golden=golden, partition=partition,
+                              class_outcomes=class_outcomes, records=records)
+
+    def run_brute_force(self):
+        """One experiment per raw coordinate, sharded by slot range."""
+        from .runner import BruteForceResult
+
+        golden = self.golden
+        slots = list(range(1, golden.cycles + 1))
+        costs = [golden.cycles - slot + 1 or 1 for slot in slots]
+        shards = shard_by_cost(slots, costs, self.jobs)
+        tasks = [(index, shard[0], shard[-1])
+                 for index, shard in enumerate(shards)]
+        by_index: dict[int, list] = {}
+        for index, out in self._map_shards(_brute_shard, tasks):
+            by_index[index] = out
+        outcomes: dict[FaultCoordinate, Outcome] = {}
+        for index in range(len(tasks)):
+            for coord, outcome in by_index[index]:
+                outcomes[coord] = outcome
+        return BruteForceResult(golden=golden, outcomes=outcomes)
+
+    def run_sampling(self, n_samples: int, *, seed: int = 0,
+                     sampler: str = "uniform",
+                     partition: DefUsePartition | None = None,
+                     progress: ProgressCallback | None = None):
+        """Sampled campaign: shard the distinct (class, bit) experiments.
+
+        Samples are drawn (deterministically, from the seed) in the
+        parent; only the distinct representative experiments go to the
+        pool.  The resulting outcome cache is then replayed over the
+        drawn samples, exactly like the serial runner's cache.
+        """
+        from .runner import SamplingResult, _draw_classified
+
+        golden = self.golden
+        if partition is None:
+            partition = golden.partition()
+        drawn, population = _draw_classified(golden, n_samples, seed,
+                                             sampler, partition)
+        keyed: dict[tuple[int, int, int], FaultCoordinate] = {}
+        for sample in drawn:
+            if sample.class_kind != LIVE:
+                continue
+            interval = partition.locate(sample.coordinate)
+            key = (interval.addr, interval.first_slot, sample.coordinate.bit)
+            if key not in keyed:
+                keyed[key] = FaultCoordinate(slot=interval.injection_slot,
+                                             addr=interval.addr,
+                                             bit=sample.coordinate.bit)
+        items = sorted(keyed.items(),
+                       key=lambda kv: (kv[1].slot, kv[1].addr, kv[1].bit))
+        costs = [max(1, golden.cycles - coord.slot + 1)
+                 for _, coord in items]
+        shards = shard_by_cost(items, costs, self.jobs)
+        tasks = list(enumerate(shards))
+        cache: dict[tuple[int, int, int], Outcome] = {}
+        done = 0
+        for _, results in self._map_shards(_sampling_shard, tasks):
+            for key, outcome in results:
+                cache[key] = outcome
+            done += len(results)
+            if progress is not None:
+                progress(done, len(items))
+        samples: list[tuple] = []
+        for sample in drawn:
+            if sample.class_kind != LIVE:
+                samples.append((sample, Outcome.NO_EFFECT))
+                continue
+            interval = partition.locate(sample.coordinate)
+            key = (interval.addr, interval.first_slot, sample.coordinate.bit)
+            samples.append((sample, cache[key]))
+        return SamplingResult(golden=golden, partition=partition,
+                              samples=samples, population=population,
+                              experiments_conducted=len(cache),
+                              sampler=sampler)

@@ -81,7 +81,10 @@ class RegisterCampaignResult:
 
     @property
     def experiments_conducted(self) -> int:
-        return 32 * len(self.class_outcomes)
+        # Derived from the stored outcome tuples (32 per register class)
+        # rather than hardcoding the word width.
+        return sum(len(outcomes)
+                   for outcomes in self.class_outcomes.values())
 
     def outcome_of(self, coordinate: RegisterFaultCoordinate) -> Outcome:
         interval = self.partition.locate(coordinate)

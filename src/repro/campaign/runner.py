@@ -54,7 +54,11 @@ class CampaignResult:
 
     @property
     def experiments_conducted(self) -> int:
-        return 8 * len(self.class_outcomes)
+        # Derived from the stored outcome tuples rather than hardcoding
+        # 8 bits per class, so campaigns over other fault spaces (e.g.
+        # 32-bit register words) report correct totals.
+        return sum(len(outcomes)
+                   for outcomes in self.class_outcomes.values())
 
     def outcome_of(self, coordinate: FaultCoordinate) -> Outcome:
         """The outcome of any raw coordinate, resolved via its class."""
@@ -100,12 +104,34 @@ class CampaignResult:
         return out
 
 
+def _parallel_campaign(golden: GoldenRun, jobs: int,
+                       executor: ExperimentExecutor | None):
+    """Build the parallel driver for a runner-level ``jobs`` request."""
+    from .parallel import ParallelCampaign
+
+    if executor is not None:
+        raise ValueError(
+            "an explicit executor cannot be shared across worker "
+            "processes; drop the executor argument or run with jobs=None")
+    return ParallelCampaign(golden, jobs)
+
+
 def run_full_scan(golden: GoldenRun, *,
                   partition: DefUsePartition | None = None,
                   executor: ExperimentExecutor | None = None,
                   keep_records: bool = False,
-                  progress: ProgressCallback | None = None) -> CampaignResult:
-    """Def/use-pruned full fault-space scan (exact, no sampling error)."""
+                  progress: ProgressCallback | None = None,
+                  jobs: int | None = None) -> CampaignResult:
+    """Def/use-pruned full fault-space scan (exact, no sampling error).
+
+    ``jobs`` selects the execution engine: ``None`` (default) runs
+    serially in-process, ``0`` uses one worker process per CPU, any
+    positive count that many workers.  Results are identical either way.
+    """
+    if jobs is not None:
+        return _parallel_campaign(golden, jobs, executor).run_full_scan(
+            partition=partition, keep_records=keep_records,
+            progress=progress)
     if partition is None:
         partition = golden.partition()
     if executor is None:
@@ -141,13 +167,16 @@ class BruteForceResult:
 
 
 def run_brute_force(golden: GoldenRun, *,
-                    executor: ExperimentExecutor | None = None
-                    ) -> BruteForceResult:
+                    executor: ExperimentExecutor | None = None,
+                    jobs: int | None = None) -> BruteForceResult:
     """Run one experiment for *every* fault-space coordinate.
 
     Only feasible for tiny programs; used by tests and examples to prove
     that def/use pruning plus weighting reproduces these numbers exactly.
+    ``jobs`` behaves as in :func:`run_full_scan`.
     """
+    if jobs is not None:
+        return _parallel_campaign(golden, jobs, executor).run_brute_force()
     if executor is None:
         executor = ExperimentExecutor(golden)
     space = golden.fault_space
@@ -195,19 +224,16 @@ class SamplingResult:
 SAMPLERS = ("uniform", "live-only", "biased-class")
 
 
-def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
-                 sampler: str = "uniform",
-                 partition: DefUsePartition | None = None,
-                 executor: ExperimentExecutor | None = None
-                 ) -> SamplingResult:
-    """Run a sampled campaign with def/use-pruned experiment sharing."""
+def _draw_classified(golden: GoldenRun, n_samples: int, seed: int,
+                     sampler: str, partition: DefUsePartition
+                     ) -> tuple[list[Sample], int]:
+    """Draw and classify samples; shared by the serial and parallel paths.
+
+    Returns the drawn samples (original order) and the population size
+    the estimate must extrapolate against.
+    """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
-    if partition is None:
-        partition = golden.partition()
-    if executor is None:
-        executor = ExperimentExecutor(golden)
-
     if sampler == "uniform":
         drawn = UniformSampler(golden.fault_space, seed=seed) \
             .draw_classified(n_samples, partition)
@@ -224,8 +250,41 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
         population = golden.fault_space.size
     else:
         raise ValueError(f"unknown sampler {sampler!r}; pick from {SAMPLERS}")
+    return drawn, population
+
+
+def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
+                 sampler: str = "uniform",
+                 partition: DefUsePartition | None = None,
+                 executor: ExperimentExecutor | None = None,
+                 progress: ProgressCallback | None = None,
+                 jobs: int | None = None) -> SamplingResult:
+    """Run a sampled campaign with def/use-pruned experiment sharing.
+
+    ``progress`` is called after each *conducted* experiment with
+    ``(done, total)`` over the distinct (class, bit) experiment keys the
+    drawn samples require.  ``jobs`` behaves as in :func:`run_full_scan`.
+    """
+    if jobs is not None:
+        return _parallel_campaign(golden, jobs, executor).run_sampling(
+            n_samples, seed=seed, sampler=sampler, partition=partition,
+            progress=progress)
+    if partition is None:
+        partition = golden.partition()
+    if executor is None:
+        executor = ExperimentExecutor(golden)
+
+    drawn, population = _draw_classified(golden, n_samples, seed, sampler,
+                                         partition)
 
     # One experiment per distinct (class, bit); dead classes need none.
+    total_experiments = 0
+    if progress is not None:
+        total_experiments = len({
+            (interval.addr, interval.first_slot, sample.coordinate.bit)
+            for sample, interval in (
+                (s, partition.locate(s.coordinate)) for s in drawn
+                if s.class_kind == LIVE)})
     cache: dict[tuple[int, int, int], Outcome] = {}
     experiments = 0
     results: list[tuple[Sample, Outcome]] = []
@@ -248,6 +307,8 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                 bit=sample.coordinate.bit)
             cache[key] = executor.run(representative).outcome
             experiments += 1
+            if progress is not None:
+                progress(experiments, total_experiments)
         outcome_by_index[i] = cache[key]
     results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]
     return SamplingResult(golden=golden, partition=partition,

@@ -4,9 +4,12 @@ Commands:
 
 ``table1``
     Print the Poisson fault-count table (Table I).
-``scan <program>``
+``scan <program> [--jobs N] [--samples N]``
     Run a def/use-pruned full fault-space scan of a registered program
-    and print its outcome histogram, coverage and failure count.
+    and print its outcome histogram, coverage and failure count; with
+    ``--samples`` run a sampled campaign instead.  ``--jobs`` shards
+    the campaign over worker processes (0 = one per CPU) and a live
+    progress/ETA line is printed to stderr.
 ``fig3``
     Run the Section IV dilution experiment and print the table.
 ``fig2 [--rounds N] [--items N]``
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .analysis import (
     fig2_data,
@@ -32,9 +36,38 @@ from .analysis import (
     table1_report,
     verdict_report,
 )
-from .campaign import CampaignSummary, record_golden, run_full_scan
+from .campaign import (
+    CampaignSummary,
+    record_golden,
+    run_full_scan,
+    run_sampling,
+)
+from .campaign.runner import SAMPLERS
 from .metrics import weighted_coverage, weighted_failure_count
 from .programs import all_programs, bin_sem2, hi, sync2
+
+
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    return jobs
+
+
+def _eta_progress(label: str):
+    """Progress callback printing a live ``done/total`` + ETA line."""
+    start = time.monotonic()
+
+    def callback(done: int, total: int) -> None:
+        elapsed = time.monotonic() - start
+        remaining = elapsed / done * (total - done) if done else 0.0
+        end = "\n" if done >= total else ""
+        print(f"\r{label}: {done}/{total} ({100.0 * done / total:3.0f}%)"
+              f"  elapsed {elapsed:5.1f}s  ETA {remaining:5.1f}s",
+              end=end, file=sys.stderr, flush=True)
+
+    return callback
 
 
 def _resolve(name: str):
@@ -68,7 +101,23 @@ def cmd_scan(args) -> None:
     golden = record_golden(program)
     print(f"{program.name}: Δt={golden.cycles} cycles, "
           f"Δm={program.ram_size} bytes, w={golden.fault_space.size}")
-    scan = run_full_scan(golden)
+    if args.samples:
+        result = run_sampling(golden, args.samples, seed=args.seed,
+                              sampler=args.sampler, jobs=args.jobs,
+                              progress=_eta_progress("experiments"))
+        scale = result.population / result.n_samples
+        print(f"sampled {result.n_samples} faults "
+              f"({result.experiments_conducted} experiments conducted, "
+              f"sampler={result.sampler})")
+        for outcome, count in sorted(result.counts().items(),
+                                     key=lambda kv: -kv[1]):
+            print(f"  {outcome.value:24s} {count:8d}  "
+                  f"(extrapolated {count * scale:14.0f})")
+        print(f"estimated failure count F̂: "
+              f"{result.failure_count() * scale:.0f}")
+        return
+    scan = run_full_scan(golden, jobs=args.jobs,
+                         progress=_eta_progress("classes"))
     print(outcome_histogram(scan))
     print(f"\nweighted coverage: {100 * weighted_coverage(scan):.2f}%")
     print(f"absolute failure count F: "
@@ -97,7 +146,7 @@ def cmd_fig2(args) -> None:
     for name, program in variants.items():
         print(f"scanning {name}...", file=sys.stderr, flush=True)
         summaries[name] = CampaignSummary.from_result(
-            run_full_scan(record_golden(program)))
+            run_full_scan(record_golden(program), jobs=args.jobs))
     print(fig2_report(fig2_data(summaries)))
     print()
     print(verdict_report(summaries["bin_sem2"],
@@ -126,6 +175,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     scan = sub.add_parser("scan", help="full fault-space scan")
     scan.add_argument("program")
+    scan.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                      help="worker processes (0 = one per CPU; "
+                           "default: serial)")
+    scan.add_argument("--samples", type=int, default=0,
+                      help="run a sampled campaign of N faults instead "
+                           "of the full scan")
+    scan.add_argument("--seed", type=int, default=0,
+                      help="sampling RNG seed")
+    scan.add_argument("--sampler", choices=SAMPLERS, default="uniform",
+                      help="sampling strategy (with --samples)")
     scan.set_defaults(func=cmd_scan)
 
     sub.add_parser("fig3", help="Section IV dilution table").set_defaults(
@@ -136,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="bin_sem2 rounds (paper scale: 4)")
     fig2.add_argument("--items", type=int, default=4,
                       help="sync2 items (paper scale: 10)")
+    fig2.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                      help="worker processes (0 = one per CPU; "
+                           "default: serial)")
     fig2.set_defaults(func=cmd_fig2)
     return parser
 

@@ -184,10 +184,38 @@ class Machine:
 
         Traps propagate to the caller; reaching ``max_cycles`` without
         halting simply returns (the campaign layer treats it as timeout).
+
+        This is the campaign hot loop (hundreds of millions of
+        instructions per full scan), so :meth:`step` is inlined here with
+        the ROM bindings hoisted into locals; ``pc``/``halted``/``cycle``
+        still live on ``self`` because instruction handlers read and
+        write them.  Semantics are identical to calling ``step`` in a
+        loop.
         """
-        step = self.step
-        while not self.halted and self.cycle < max_cycles:
-            step()
+        exec_rom = self._exec
+        rom_len = len(exec_rom)
+        while not self.halted:
+            cycle = self.cycle
+            if cycle >= max_cycles:
+                break
+            pc = self.pc
+            if 0 <= pc < rom_len:
+                handler, instr = exec_rom[pc]
+                self.pc = pc + 1
+                try:
+                    handler(instr)
+                except HaltedMachine:
+                    raise
+                except Exception:
+                    self.halted = True
+                    raise
+                self.cycle = cycle + 1
+            elif pc == rom_len:
+                # Implicit exit stub: clean halt, no cycle consumed.
+                self.halted = True
+            else:
+                self.halted = True
+                raise IllegalPC(f"pc {pc} outside ROM", pc=pc, cycle=cycle)
 
     def run_to_cycle(self, target_cycle: int) -> None:
         """Run until exactly ``target_cycle`` instructions have executed.
@@ -195,14 +223,37 @@ class Machine:
         Used to position the machine at an injection slot: to inject at
         slot ``t``, run to cycle ``t - 1``.  Raises ``ValueError`` when
         asked to run backwards.
+
+        Shares the inlined hot loop of :meth:`run` — this is what the
+        snapshot fast-forward spends its time in.
         """
         if target_cycle < self.cycle:
             raise ValueError(
                 f"cannot run backwards: at cycle {self.cycle}, "
                 f"target {target_cycle}")
-        step = self.step
-        while not self.halted and self.cycle < target_cycle:
-            step()
+        exec_rom = self._exec
+        rom_len = len(exec_rom)
+        while not self.halted:
+            cycle = self.cycle
+            if cycle >= target_cycle:
+                break
+            pc = self.pc
+            if 0 <= pc < rom_len:
+                handler, instr = exec_rom[pc]
+                self.pc = pc + 1
+                try:
+                    handler(instr)
+                except HaltedMachine:
+                    raise
+                except Exception:
+                    self.halted = True
+                    raise
+                self.cycle = cycle + 1
+            elif pc == rom_len:
+                self.halted = True
+            else:
+                self.halted = True
+                raise IllegalPC(f"pc {pc} outside ROM", pc=pc, cycle=cycle)
 
     # -- memory --------------------------------------------------------------
 

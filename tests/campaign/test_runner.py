@@ -54,6 +54,22 @@ class TestFullScan:
                                                                 total)))
         assert seen[-1][0] == seen[-1][1] > 0
 
+    def test_experiments_conducted_derived_from_outcome_tuples(self,
+                                                               hi_scan):
+        """Not hardcoded to 8 bits: campaigns over wider words (e.g. the
+        32-bit register file) must report correct totals."""
+        from repro.campaign import CampaignResult
+
+        wide = CampaignResult(
+            golden=hi_scan.golden, partition=hi_scan.partition,
+            class_outcomes={
+                key: outcomes * 4  # pretend 32 experiments per class
+                for key, outcomes in hi_scan.class_outcomes.items()})
+        assert wide.experiments_conducted \
+            == 32 * len(hi_scan.class_outcomes)
+        assert hi_scan.experiments_conducted \
+            == 8 * len(hi_scan.class_outcomes)
+
 
 class TestBruteForce:
     def test_brute_force_covers_whole_space(self, hi_golden):

@@ -24,6 +24,25 @@ class TestCli:
         assert "62.50%" in out
         assert "F: 48" in out
 
+    def test_scan_parallel_matches_serial(self, capsys):
+        main(["scan", "hi"])
+        serial = capsys.readouterr().out
+        main(["scan", "hi", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_scan_emits_progress_eta(self, capsys):
+        main(["scan", "hi"])
+        err = capsys.readouterr().err
+        assert "ETA" in err and "classes:" in err
+
+    def test_scan_sampling_mode(self, capsys):
+        main(["scan", "counter", "--samples", "50", "--seed", "1"])
+        captured = capsys.readouterr()
+        assert "sampled 50 faults" in captured.out
+        assert "estimated failure count" in captured.out
+        assert "experiments:" in captured.err
+
     def test_render_hi(self, capsys):
         main(["render", "hi"])
         out = capsys.readouterr().out
