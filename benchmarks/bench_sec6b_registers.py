@@ -4,30 +4,32 @@ Not a paper figure — the paper leaves register faults to future work —
 but DESIGN.md implements the extension, and this bench demonstrates
 that the methodology carries over: def/use pruning over the register
 file, weighted accounting, and the dilution-immunity of the failure
-count all behave as in the memory model.
+count all behave as in the memory model.  Register campaigns run
+through the same unified engine as memory campaigns
+(``run_full_scan(golden, domain="register")``), including the
+multi-process sharder and the samplers.
 """
 
 import pytest
 
-from repro.campaign import (
-    record_golden,
-    register_partition,
-    run_register_scan,
-)
+from repro.campaign import record_golden, run_full_scan, run_sampling
+from repro.faultspace import REGISTER
 from repro.programs import hi, micro
 
 
 @pytest.fixture(scope="module")
 def hi_register_scans():
     return {
-        "hi": run_register_scan(record_golden(hi.baseline())),
-        "hi-dft4": run_register_scan(record_golden(hi.dft_variant(4))),
+        "hi": run_full_scan(record_golden(hi.baseline()),
+                            domain="register"),
+        "hi-dft4": run_full_scan(record_golden(hi.dft_variant(4)),
+                                 domain="register"),
     }
 
 
 def test_sec6b_register_pruning(benchmark, output_dir):
     golden = record_golden(micro.checksum_loop(4))
-    partition = benchmark(lambda: register_partition(golden))
+    partition = benchmark(lambda: REGISTER.build_partition(golden))
     assert partition.reduction_factor() > 2.0
     assert partition.experiment_count < partition.fault_space.size
     (output_dir / "sec6b_registers.txt").write_text(
@@ -39,9 +41,32 @@ def test_sec6b_register_pruning(benchmark, output_dir):
 
 def test_sec6b_register_scan_cost(benchmark):
     golden = record_golden(micro.counter(3))
-    result = benchmark.pedantic(lambda: run_register_scan(golden),
-                                rounds=2, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_full_scan(golden, domain="register"),
+        rounds=2, iterations=1)
     assert result.experiments_conducted > 0
+
+
+def test_sec6b_register_scan_parallel_parity(benchmark):
+    """The sharded register scan must reproduce the serial scan
+    bit-for-bit, exactly as for memory campaigns."""
+    golden = record_golden(micro.counter(3))
+    serial = run_full_scan(golden, domain="register")
+    parallel = benchmark.pedantic(
+        lambda: run_full_scan(golden, domain="register", jobs=2),
+        rounds=2, iterations=1)
+    assert list(parallel.class_outcomes.items()) \
+        == list(serial.class_outcomes.items())
+    assert parallel.weighted_counts() == serial.weighted_counts()
+
+
+def test_sec6b_register_sampling_cost(benchmark):
+    golden = record_golden(micro.checksum_loop(4))
+    result = benchmark.pedantic(
+        lambda: run_sampling(golden, 300, seed=11, domain="register"),
+        rounds=2, iterations=1)
+    assert result.population == REGISTER.fault_space(golden).size
+    assert result.n_samples == 300
 
 
 def test_sec6b_dilution_immune_in_register_space(benchmark,

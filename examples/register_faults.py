@@ -3,30 +3,33 @@
 
 The paper's fault model covers main memory, but Section VI-B argues the
 methodology generalizes to any state whose reads/writes can be traced.
-This example runs a def/use-pruned campaign over the *register* fault
+Register faults are a first-class *fault domain* here: the same
+campaign engine that scans memory runs register campaigns when asked
+with ``domain="register"`` — full scans (serial or sharded over worker
+processes), all three samplers, persistence and metrics included.
+
+This example runs a def/use-pruned campaign over the register fault
 space (Δt × 15 registers × 32 bits) and shows that the dilution
 delusion — and its antidote — look exactly the same there.
 
 Run:  python examples/register_faults.py
 """
 
-from repro.campaign import (
-    record_golden,
-    register_partition,
-    run_register_scan,
-)
+from repro.campaign import record_golden, run_full_scan, run_sampling
+from repro.faultspace import REGISTER
+from repro.metrics import weighted_coverage
 from repro.programs import hi, micro
 
 
 def describe(name, golden):
-    partition = register_partition(golden)
-    scan = run_register_scan(golden, partition=partition)
+    partition = REGISTER.build_partition(golden)
+    scan = run_full_scan(golden, domain="register", partition=partition)
     print(f"{name}:")
     print(f"  register fault space w = {partition.fault_space.size} "
           f"({golden.cycles} cycles x 15 regs x 32 bits)")
     print(f"  def/use pruning: {partition.experiment_count} experiments "
           f"({partition.reduction_factor():.1f}x reduction)")
-    print(f"  weighted coverage: {100 * scan.weighted_coverage():.2f}%")
+    print(f"  weighted coverage: {100 * weighted_coverage(scan):.2f}%")
     print(f"  absolute failure count F: "
           f"{scan.weighted_failure_count()}")
     return scan
@@ -45,6 +48,16 @@ def main() -> None:
     ratio = dft.weighted_failure_count() / base.weighted_failure_count()
     print(f"\ncomparison ratio r = {ratio:.3f} — the absolute failure "
           "count exposes the cheat in this fault model too.")
+
+    # The same engine also samples register faults (Pitfall 2 applies
+    # unchanged): raw-uniform sampling over the register space, with
+    # counts extrapolated to the full population.
+    golden = record_golden(micro.counter(5))
+    sampled = run_sampling(golden, 400, seed=1, domain="register")
+    scale = sampled.population / sampled.n_samples
+    print(f"\nsampled register campaign: {sampled.n_samples} faults of "
+          f"{sampled.population}, extrapolated "
+          f"F̂ = {sampled.failure_count() * scale:.0f}")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,6 @@ from __future__ import annotations
 from collections import Counter
 
 from ..campaign.database import CampaignSummary
-from ..campaign.golden import GoldenRun
 from ..campaign.runner import CampaignResult
 from .figures import Fig2Series, fig2_verdicts, fig3_data, table1_data
 
@@ -95,32 +94,40 @@ def outcome_histogram(result: CampaignResult) -> str:
             for outcome, count in counts.most_common()]
     return format_table(["outcome", "weight", "share"], rows,
                         title=f"{result.golden.program.name}: weighted "
-                              "outcome distribution")
+                              f"outcome distribution "
+                              f"({result.domain.name} faults)")
 
 
 def failure_attribution(result: CampaignResult, *,
                         top: int = 10) -> list[tuple[str, int]]:
-    """Attribute weighted failure counts to data objects by label.
+    """Attribute weighted failure counts to fault locations by label.
 
     Returns ``(label, weight)`` pairs, heaviest first — the analysis
-    behind the "which data actually fails" discussions.
+    behind the "which data actually fails" discussions.  Memory-domain
+    results attribute to the program's data labels; register-domain
+    results attribute to register names (``r1`` ... ``r15``).
     """
     program = result.golden.program
-    labels = sorted(program.data_labels.items(), key=lambda kv: kv[1])
+    if result.domain.name == "memory":
+        labels = sorted(program.data_labels.items(), key=lambda kv: kv[1])
 
-    def region_of(addr: int) -> str:
-        best = "(unlabelled)"
-        for name, label_addr in labels:
-            if label_addr <= addr:
-                best = name
-            else:
-                break
-        return best
+        def region_of(addr: int) -> str:
+            best = "(unlabelled)"
+            for name, label_addr in labels:
+                if label_addr <= addr:
+                    best = name
+                else:
+                    break
+            return best
+    else:
+        def region_of(axis: int) -> str:
+            return f"r{axis}"
 
+    axis_of = result.domain.axis_of
     weights: Counter = Counter()
     for interval, outcomes in result.class_records():
         failing_bits = sum(1 for o in outcomes if o.is_failure)
         if failing_bits:
-            weights[region_of(interval.addr)] += \
+            weights[region_of(axis_of(interval))] += \
                 interval.length * failing_bits
     return weights.most_common(top)

@@ -21,7 +21,12 @@ from .runner import CampaignResult
 
 @dataclass(frozen=True)
 class CampaignSummary:
-    """Everything the metrics layer needs from a full-scan campaign."""
+    """Everything the metrics layer needs from a full-scan campaign.
+
+    ``domain`` names the fault model the campaign scanned (``"memory"``
+    or ``"register"``); summaries serialized before the field existed
+    load as memory-domain summaries.
+    """
 
     program_name: str
     cycles: int
@@ -31,6 +36,7 @@ class CampaignSummary:
     weighted_counts: dict[str, int]
     raw_counts: dict[str, int]
     known_no_effect_weight: int
+    domain: str = "memory"
 
     @classmethod
     def from_result(cls, result: CampaignResult) -> "CampaignSummary":
@@ -45,6 +51,7 @@ class CampaignSummary:
                              result.weighted_counts().items()},
             raw_counts={o.value: n for o, n in result.raw_counts().items()},
             known_no_effect_weight=result.partition.known_no_effect_weight,
+            domain=result.domain.name,
         )
 
     def weighted(self) -> dict[Outcome, int]:
@@ -58,7 +65,11 @@ class CampaignSummary:
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignSummary":
-        return cls(**json.loads(text))
+        data = json.loads(text)
+        # Summaries written before the domain field existed are all
+        # memory-domain scans.
+        data.setdefault("domain", "memory")
+        return cls(**data)
 
 
 def program_fingerprint(program: Program) -> str:
@@ -87,12 +98,17 @@ class CampaignCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
 
-    def _path(self, program: Program) -> Path:
+    def _path(self, program: Program, domain: str = "memory") -> Path:
+        # Memory-domain entries keep the original (domain-less) file
+        # names so caches written before fault domains existed still
+        # hit; other domains get a suffix to avoid collisions.
+        suffix = "" if domain == "memory" else f"-{domain}"
         return self.directory / (
-            f"{program.name}-{program_fingerprint(program)}.json")
+            f"{program.name}-{program_fingerprint(program)}{suffix}.json")
 
-    def load(self, program: Program) -> CampaignSummary | None:
-        path = self._path(program)
+    def load(self, program: Program,
+             domain: str = "memory") -> CampaignSummary | None:
+        path = self._path(program, domain)
         if not path.exists():
             return None
         try:
@@ -101,11 +117,12 @@ class CampaignCache:
             return None  # stale or corrupt cache entry; recompute
 
     def store(self, program: Program, summary: CampaignSummary) -> None:
-        self._path(program).write_text(summary.to_json())
+        self._path(program, summary.domain).write_text(summary.to_json())
 
-    def get_or_run(self, program: Program, thunk) -> CampaignSummary:
+    def get_or_run(self, program: Program, thunk,
+                   domain: str = "memory") -> CampaignSummary:
         """Return the cached summary or run ``thunk() -> CampaignResult``."""
-        cached = self.load(program)
+        cached = self.load(program, domain)
         if cached is not None:
             return cached
         summary = CampaignSummary.from_result(thunk())
@@ -117,30 +134,36 @@ def export_class_results_csv(result: CampaignResult,
                              path: str | Path) -> None:
     """Write per-class experiment results to a CSV file.
 
-    Columns: byte address, interval bounds, lifetime weight, and the
-    eight per-bit outcomes.
+    Columns: spatial axis index (byte address or register number),
+    interval bounds, lifetime weight, and the domain's per-bit outcomes
+    (8 columns for memory, 32 for registers).
     """
+    domain = result.domain
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["addr", "first_slot", "last_slot", "length"]
-                        + [f"bit{b}" for b in range(8)])
+                        + [f"bit{b}" for b in range(domain.bits)])
         for interval, outcomes in result.class_records():
             writer.writerow(
-                [interval.addr, interval.first_slot, interval.last_slot,
-                 interval.length] + [o.value for o in outcomes])
+                [domain.axis_of(interval), interval.first_slot,
+                 interval.last_slot, interval.length]
+                + [o.value for o in outcomes])
 
 
 def import_class_results_csv(path: str | Path) -> list[dict]:
     """Read back a CSV produced by :func:`export_class_results_csv`."""
     rows = []
     with open(path, newline="") as handle:
-        for row in csv.DictReader(handle):
+        reader = csv.DictReader(handle)
+        bit_columns = [name for name in (reader.fieldnames or [])
+                       if name.startswith("bit")]
+        for row in reader:
             rows.append({
                 "addr": int(row["addr"]),
                 "first_slot": int(row["first_slot"]),
                 "last_slot": int(row["last_slot"]),
                 "length": int(row["length"]),
-                "outcomes": tuple(Outcome(row[f"bit{b}"])
-                                  for b in range(8)),
+                "outcomes": tuple(Outcome(row[name])
+                                  for name in bit_columns),
             })
     return rows

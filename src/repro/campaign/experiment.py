@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..faultspace.domain import FaultDomain, MEMORY, get_domain
 from ..faultspace.model import FaultCoordinate
 from ..isa.cpu import Machine, MachineState
 from ..isa.errors import CPUException
@@ -50,6 +51,8 @@ class ExecutorConfig:
     timeout_slack: int = DEFAULT_TIMEOUT_SLACK
     use_snapshots: bool = True
     early_stop: bool = True
+    #: Fault-domain registry name; workers resolve it to the singleton.
+    domain: str = MEMORY.name
 
     def build(self, golden: "GoldenRun",
               executor_class: type | None = None) -> "ExperimentExecutor":
@@ -59,7 +62,8 @@ class ExecutorConfig:
                    timeout_factor=self.timeout_factor,
                    timeout_slack=self.timeout_slack,
                    use_snapshots=self.use_snapshots,
-                   early_stop=self.early_stop)
+                   early_stop=self.early_stop,
+                   domain=self.domain)
 
 
 @dataclass(frozen=True)
@@ -87,10 +91,12 @@ class ExperimentExecutor:
                  timeout_factor: float = DEFAULT_TIMEOUT_FACTOR,
                  timeout_slack: int = DEFAULT_TIMEOUT_SLACK,
                  use_snapshots: bool = True,
-                 early_stop: bool = True):
+                 early_stop: bool = True,
+                 domain: FaultDomain | str = MEMORY):
         if timeout_factor < 1.0:
             raise ValueError("timeout_factor must be >= 1.0")
         self.golden = golden
+        self.domain = get_domain(domain)
         self.timeout_cycles = max(
             int(golden.cycles * timeout_factor),
             golden.cycles + timeout_slack)
@@ -145,11 +151,11 @@ class ExperimentExecutor:
     def _inject(self, machine: Machine, coordinate) -> None:
         """Apply the fault at the current pause point.
 
-        The base executor flips a RAM bit; subclasses may target other
-        machine state (e.g. the register file for the Section VI-B
-        generalization).
+        Delegates to the executor's fault domain (RAM bit flip for the
+        memory domain, register-file flip for Section VI-B, ...);
+        subclasses may still override to target other machine state.
         """
-        machine.flip_bit(coordinate.addr, coordinate.bit)
+        self.domain.inject(machine, coordinate)
 
     # -- snapshot fast-forward -------------------------------------------------
 

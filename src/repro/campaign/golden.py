@@ -36,6 +36,11 @@ class GoldenRun:
     output: bytes
     cycles: int
     trace: MemoryTrace
+    #: ROM index executed at each slot (``pc_trace[t]`` ran at slot
+    #: ``t + 1``).  Recorded once during :func:`record_golden`; register
+    #: def/use pruning derives its access events from it.  ``None`` only
+    #: for golden runs built by hand or unpickled from older versions.
+    pc_trace: tuple[int, ...] | None = None
 
     @property
     def fault_space(self) -> FaultSpace:
@@ -49,6 +54,33 @@ class GoldenRun:
         partition.validate()
         return partition
 
+    def executed_pcs(self) -> list[int]:
+        """The executed-pc trace, replaying the run only if not recorded."""
+        if self.pc_trace is not None:
+            return list(self.pc_trace)
+        return _replay_pc_trace(self)
+
+
+def _replay_pc_trace(golden: GoldenRun) -> list[int]:
+    """Re-execute a golden run to recover its pc trace.
+
+    Fallback for :class:`GoldenRun` values that predate the recorded
+    ``pc_trace`` field; :func:`record_golden` captures the trace in the
+    original run, so this second execution is normally never needed.
+    """
+    machine = Machine(golden.program)
+    pcs: list[int] = []
+    while not machine.halted:
+        pc = machine.pc
+        before = machine.cycle
+        machine.step()
+        if machine.cycle > before:
+            pcs.append(pc)
+    if len(pcs) != golden.cycles:  # pragma: no cover - consistency check
+        raise AssertionError(
+            f"pc trace length {len(pcs)} != golden cycles {golden.cycles}")
+    return pcs
+
 
 def record_golden(program: Program, *,
                   cycle_limit: int = DEFAULT_GOLDEN_CYCLE_LIMIT) -> GoldenRun:
@@ -60,8 +92,19 @@ def record_golden(program: Program, *,
     """
     tracer = MemoryTrace()
     machine = Machine(program, tracer=tracer)
+    # Step (rather than Machine.run) so the executed-pc trace is
+    # captured in the same pass that records the memory trace; register
+    # def/use pruning then needs no second execution.  Golden runs
+    # happen once per campaign, so the per-step dispatch cost is noise
+    # next to the campaign itself.
+    pcs: list[int] = []
     try:
-        machine.run(cycle_limit)
+        while not machine.halted and machine.cycle < cycle_limit:
+            pc = machine.pc
+            before = machine.cycle
+            machine.step()
+            if machine.cycle > before:
+                pcs.append(pc)
     except CPUException as exc:
         raise GoldenRunError(
             f"golden run of {program.name!r} trapped: {exc}") from exc
@@ -77,4 +120,5 @@ def record_golden(program: Program, *,
             f"golden run of {program.name!r} executed no instructions")
     tracer.finish(machine.cycle)
     return GoldenRun(program=program, output=bytes(machine.serial),
-                     cycles=machine.cycle, trace=tracer)
+                     cycles=machine.cycle, trace=tracer,
+                     pc_trace=tuple(pcs))

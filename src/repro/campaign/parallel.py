@@ -22,6 +22,12 @@ injected at slot *t* replays roughly ``Δt − t + 1`` post-injection cycles,
 so early-slot classes are far more expensive than late ones (see
 :func:`class_cost`).
 
+The engine is generic over :class:`~repro.faultspace.domain.FaultDomain`:
+the domain provides the partition builder, the class keys, the per-class
+bit width used by the cost model, and the injector the per-worker
+executors apply.  Memory and register campaigns therefore share every
+line of this module.
+
 Results are merged in shard order, which reproduces the serial runner's
 iteration order — ``class_outcomes`` dictionaries, record lists, sample
 sequences and all derived counts are bit-for-bit identical to the serial
@@ -30,19 +36,21 @@ path regardless of worker count or OS scheduling.
 Pickling constraints (fork *and* spawn start methods are supported):
 everything crossing the process boundary must be picklable.  That is
 ``GoldenRun`` (thus ``Program``, ``Instruction``, ``MemoryTrace``),
-``ExecutorConfig``, ``ByteInterval``, ``FaultCoordinate`` and
+``ExecutorConfig`` (which names its fault domain; workers resolve the
+singleton), the interval and coordinate types of both domains and
 ``Outcome`` — all plain dataclasses or enums.  Executors and ``Machine``
 instances never cross the boundary; they are rebuilt per worker.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 from typing import Callable, Iterator, Sequence
 
-from ..faultspace.defuse import ByteInterval, DefUsePartition, LIVE
-from ..faultspace.model import FaultCoordinate
+from ..faultspace.defuse import LIVE
+from ..faultspace.domain import FaultDomain, MEMORY, get_domain
 from .experiment import ExecutorConfig, ExperimentExecutor, ExperimentRecord
 from .golden import GoldenRun
 from .outcomes import Outcome
@@ -68,11 +76,11 @@ def resolve_jobs(jobs: int | None) -> int | None:
 # -- load balancing -----------------------------------------------------------
 
 
-def class_cost(interval: ByteInterval, total_cycles: int,
-               bits: int = 8) -> int:
+def class_cost(interval, total_cycles: int, bits: int = 8) -> int:
     """Estimated post-injection cycle cost of one live class.
 
-    Each of the class's ``bits`` experiments resumes at the
+    Each of the class's ``bits`` experiments (the domain's per-class
+    width: 8 for memory bytes, 32 for registers) resumes at the
     representative injection slot and replays up to the remaining
     runtime, so the dominant term is ``bits × (Δt − slot + 1)``.  The
     interval length is added on top for the snapshot fast-forward that
@@ -135,11 +143,12 @@ def _scan_shard(task):
     """Run one contiguous shard of live classes (full-scan worker)."""
     index, intervals, keep_records = task
     executor = _WORKER_EXECUTOR
+    class_key = executor.domain.class_key
     pairs = []
     records: list[ExperimentRecord] = []
     for interval in intervals:
         results = [executor.run(coord) for coord in interval.experiments()]
-        pairs.append(((interval.addr, interval.first_slot),
+        pairs.append((class_key(interval),
                       tuple(record.outcome for record in results)))
         if keep_records:
             records.extend(results)
@@ -150,13 +159,12 @@ def _brute_shard(task):
     """Run every raw coordinate in one contiguous slot range."""
     index, slot_lo, slot_hi = task
     executor = _WORKER_EXECUTOR
-    space = executor.golden.fault_space
+    domain = executor.domain
+    space = domain.fault_space(executor.golden)
     out = []
     for slot in range(slot_lo, slot_hi + 1):
-        for addr in range(space.ram_bytes):
-            for bit in range(8):
-                coord = FaultCoordinate(slot=slot, addr=addr, bit=bit)
-                out.append((coord, executor.run(coord).outcome))
+        for coord in domain.slot_coordinates(space, slot):
+            out.append((coord, executor.run(coord).outcome))
     return index, out
 
 
@@ -179,18 +187,23 @@ class ParallelCampaign:
     order — as the serial runner.  ``jobs=1`` executes the sharded code
     path inline in the current process (useful for debugging and for
     equivalence tests without pool overhead); ``jobs=0`` uses one worker
-    per CPU.
+    per CPU.  ``domain`` selects the fault model the campaign scans.
     """
 
     def __init__(self, golden: GoldenRun, jobs: int = 0, *,
-                 executor_config: ExecutorConfig | None = None):
+                 executor_config: ExecutorConfig | None = None,
+                 domain: FaultDomain | str = MEMORY):
         resolved = resolve_jobs(jobs)
         if resolved is None:
             raise ValueError("ParallelCampaign needs a concrete job count; "
                              "use the serial runner for jobs=None")
         self.golden = golden
         self.jobs = resolved
-        self.config = executor_config or ExecutorConfig()
+        self.domain = get_domain(domain)
+        config = executor_config or ExecutorConfig()
+        # The config crosses the process boundary; pin its domain to the
+        # campaign's so every worker rebuilds the right injector.
+        self.config = dataclasses.replace(config, domain=self.domain.name)
 
     # -- dispatch ------------------------------------------------------------
 
@@ -215,18 +228,20 @@ class ParallelCampaign:
 
     # -- campaign styles -----------------------------------------------------
 
-    def run_full_scan(self, *, partition: DefUsePartition | None = None,
+    def run_full_scan(self, *, partition=None,
                       keep_records: bool = False,
                       progress: ProgressCallback | None = None):
         """Def/use-pruned full scan, sharded across the pool."""
         from .runner import CampaignResult
 
         golden = self.golden
+        domain = self.domain
         if partition is None:
-            partition = golden.partition()
+            partition = domain.build_partition(golden)
         live = partition.live_classes()  # sorted by injection slot
         shards = shard_by_cost(
-            live, [class_cost(iv, golden.cycles) for iv in live], self.jobs)
+            live, [class_cost(iv, golden.cycles, bits=domain.bits)
+                   for iv in live], self.jobs)
         tasks = [(index, shard, keep_records)
                  for index, shard in enumerate(shards)]
         by_index: dict[int, tuple] = {}
@@ -244,7 +259,8 @@ class ParallelCampaign:
                 class_outcomes[key] = outcomes
             records.extend(shard_records)
         return CampaignResult(golden=golden, partition=partition,
-                              class_outcomes=class_outcomes, records=records)
+                              class_outcomes=class_outcomes, records=records,
+                              domain=domain)
 
     def run_brute_force(self):
         """One experiment per raw coordinate, sharded by slot range."""
@@ -259,15 +275,16 @@ class ParallelCampaign:
         by_index: dict[int, list] = {}
         for index, out in self._map_shards(_brute_shard, tasks):
             by_index[index] = out
-        outcomes: dict[FaultCoordinate, Outcome] = {}
+        outcomes: dict = {}
         for index in range(len(tasks)):
             for coord, outcome in by_index[index]:
                 outcomes[coord] = outcome
-        return BruteForceResult(golden=golden, outcomes=outcomes)
+        return BruteForceResult(golden=golden, outcomes=outcomes,
+                                domain=self.domain)
 
     def run_sampling(self, n_samples: int, *, seed: int = 0,
                      sampler: str = "uniform",
-                     partition: DefUsePartition | None = None,
+                     partition=None,
                      progress: ProgressCallback | None = None):
         """Sampled campaign: shard the distinct (class, bit) experiments.
 
@@ -279,22 +296,25 @@ class ParallelCampaign:
         from .runner import SamplingResult, _draw_classified
 
         golden = self.golden
+        domain = self.domain
         if partition is None:
-            partition = golden.partition()
+            partition = domain.build_partition(golden)
         drawn, population = _draw_classified(golden, n_samples, seed,
-                                             sampler, partition)
-        keyed: dict[tuple[int, int, int], FaultCoordinate] = {}
+                                             sampler, partition, domain)
+        keyed: dict[tuple[int, int, int], object] = {}
         for sample in drawn:
             if sample.class_kind != LIVE:
                 continue
             interval = partition.locate(sample.coordinate)
-            key = (interval.addr, interval.first_slot, sample.coordinate.bit)
+            key = domain.class_key(interval) + (sample.coordinate.bit,)
             if key not in keyed:
-                keyed[key] = FaultCoordinate(slot=interval.injection_slot,
-                                             addr=interval.addr,
-                                             bit=sample.coordinate.bit)
+                keyed[key] = domain.coordinate(interval.injection_slot,
+                                               domain.axis_of(interval),
+                                               sample.coordinate.bit)
         items = sorted(keyed.items(),
-                       key=lambda kv: (kv[1].slot, kv[1].addr, kv[1].bit))
+                       key=lambda kv: (kv[1].slot,
+                                       domain.coordinate_axis(kv[1]),
+                                       kv[1].bit))
         costs = [max(1, golden.cycles - coord.slot + 1)
                  for _, coord in items]
         shards = shard_by_cost(items, costs, self.jobs)
@@ -313,9 +333,9 @@ class ParallelCampaign:
                 samples.append((sample, Outcome.NO_EFFECT))
                 continue
             interval = partition.locate(sample.coordinate)
-            key = (interval.addr, interval.first_slot, sample.coordinate.bit)
+            key = domain.class_key(interval) + (sample.coordinate.bit,)
             samples.append((sample, cache[key]))
         return SamplingResult(golden=golden, partition=partition,
                               samples=samples, population=population,
                               experiments_conducted=len(cache),
-                              sampler=sampler)
+                              sampler=sampler, domain=domain)

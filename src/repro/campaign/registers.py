@@ -1,56 +1,57 @@
-"""Register-file fault-injection campaigns (Section VI-B generalization).
+"""Register-file campaign compatibility layer (Section VI-B).
 
-Mirrors the memory campaigns: a def/use-pruned full scan over the
-register fault space, plus a brute-force scan as test ground truth.
-All metrics (weighted counts, coverage, failure counts) carry over —
-the point of Section VI-B is that the pitfalls and their avoidance are
-not specific to the memory fault model.
+The register fault model is a first-class
+:class:`~repro.faultspace.domain.FaultDomain` — every campaign style,
+sampler, the parallel sharder, persistence and metrics accept
+``domain="register"`` directly::
+
+    from repro.campaign import record_golden, run_full_scan
+
+    scan = run_full_scan(golden, domain="register", jobs=4)
+    scan.weighted_coverage()
+
+This module only keeps the original register-specific names as thin
+aliases over the unified stack, so pre-domain callers keep working
+unchanged.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-
-from ..faultspace.registers import (
-    LIVE,
-    RegisterFaultCoordinate,
-    RegisterFaultSpace,
-    RegisterInterval,
-    RegisterPartition,
-)
-from ..isa.cpu import Machine
+from ..faultspace.domain import REGISTER
+from ..faultspace.registers import RegisterFaultCoordinate, RegisterPartition
 from .experiment import ExperimentExecutor, ExperimentRecord
 from .golden import GoldenRun
-from .outcomes import Outcome
+from .runner import CampaignResult, run_brute_force, run_full_scan
+
+#: Register campaigns now produce plain :class:`CampaignResult` values.
+RegisterCampaignResult = CampaignResult
 
 
 def collect_pc_trace(golden: GoldenRun) -> list[int]:
-    """Replay the golden run and record the executed ROM index per slot."""
-    machine = Machine(golden.program)
-    pcs: list[int] = []
-    while not machine.halted:
-        pc = machine.pc
-        before = machine.cycle
-        machine.step()
-        if machine.cycle > before:
-            pcs.append(pc)
-    if len(pcs) != golden.cycles:  # pragma: no cover - consistency check
-        raise AssertionError(
-            f"pc trace length {len(pcs)} != golden cycles {golden.cycles}")
-    return pcs
+    """The golden run's executed ROM index per slot.
+
+    The trace is recorded once during :func:`~.golden.record_golden`;
+    only hand-built golden runs fall back to a replay.
+    """
+    return golden.executed_pcs()
 
 
 def register_partition(golden: GoldenRun) -> RegisterPartition:
     """Def/use-prune the register fault space of a golden run."""
-    partition = RegisterPartition.from_pc_trace(
-        golden.program.rom, collect_pc_trace(golden))
-    partition.validate()
-    return partition
+    return REGISTER.build_partition(golden)
 
 
 class RegisterExperimentExecutor(ExperimentExecutor):
-    """Experiment executor that injects into the register file."""
+    """Executor pinned to the register domain.
+
+    Equivalent to ``ExperimentExecutor(golden, domain="register")``;
+    kept because it additionally type-checks coordinates, which guards
+    hand-rolled experiment loops against mixing up fault models.
+    """
+
+    def __init__(self, golden: GoldenRun, **kwargs):
+        kwargs["domain"] = REGISTER
+        super().__init__(golden, **kwargs)
 
     def run(self, coordinate) -> ExperimentRecord:
         if not isinstance(coordinate, RegisterFaultCoordinate):
@@ -58,83 +59,20 @@ class RegisterExperimentExecutor(ExperimentExecutor):
                 "RegisterExperimentExecutor needs register coordinates")
         return super().run(coordinate)
 
-    def _inject(self, machine: Machine, coordinate) -> None:
-        machine.flip_register_bit(coordinate.reg, coordinate.bit)
-
-
-@dataclass
-class RegisterCampaignResult:
-    """Outcome of a def/use-pruned register fault-space scan."""
-
-    golden: GoldenRun
-    partition: RegisterPartition
-    class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]]
-    records: list[ExperimentRecord] = field(default_factory=list)
-
-    @property
-    def fault_space(self) -> RegisterFaultSpace:
-        return self.partition.fault_space
-
-    @property
-    def fault_space_size(self) -> int:
-        return self.fault_space.size
-
-    @property
-    def experiments_conducted(self) -> int:
-        # Derived from the stored outcome tuples (32 per register class)
-        # rather than hardcoding the word width.
-        return sum(len(outcomes)
-                   for outcomes in self.class_outcomes.values())
-
-    def outcome_of(self, coordinate: RegisterFaultCoordinate) -> Outcome:
-        interval = self.partition.locate(coordinate)
-        if interval.kind != LIVE:
-            return Outcome.NO_EFFECT
-        key = (interval.reg, interval.first_slot)
-        return self.class_outcomes[key][coordinate.bit]
-
-    def weighted_counts(self) -> Counter:
-        counts: Counter = Counter()
-        for interval in self.partition.live_classes():
-            outcomes = self.class_outcomes[(interval.reg,
-                                            interval.first_slot)]
-            for outcome in outcomes:
-                counts[outcome] += interval.length
-        counts[Outcome.NO_EFFECT] += self.partition.known_no_effect_weight
-        return counts
-
-    def weighted_failure_count(self) -> int:
-        return sum(count for outcome, count in self.weighted_counts()
-                   .items() if outcome.is_failure)
-
-    def weighted_coverage(self) -> float:
-        return 1.0 - self.weighted_failure_count() / self.fault_space_size
-
 
 def run_register_scan(golden: GoldenRun, *,
                       partition: RegisterPartition | None = None,
-                      executor: RegisterExperimentExecutor | None = None
-                      ) -> RegisterCampaignResult:
+                      executor: ExperimentExecutor | None = None,
+                      jobs: int | None = None) -> CampaignResult:
     """Def/use-pruned full scan over the register fault space."""
-    if partition is None:
-        partition = register_partition(golden)
-    if executor is None:
-        executor = RegisterExperimentExecutor(golden)
-    class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
-    for interval in partition.live_classes():
-        outcomes = tuple(executor.run(coord).outcome
-                         for coord in interval.experiments())
-        class_outcomes[(interval.reg, interval.first_slot)] = outcomes
-    return RegisterCampaignResult(golden=golden, partition=partition,
-                                  class_outcomes=class_outcomes)
+    return run_full_scan(golden, domain=REGISTER, partition=partition,
+                         executor=executor, jobs=jobs)
 
 
-def run_register_brute_force(golden: GoldenRun) -> dict:
+def run_register_brute_force(golden: GoldenRun, *,
+                             jobs: int | None = None) -> dict:
     """One real experiment per register fault-space coordinate.
 
     Test ground truth only — 480 experiments per cycle.
     """
-    executor = RegisterExperimentExecutor(golden)
-    space = RegisterFaultSpace(cycles=golden.cycles)
-    return {coord: executor.run(coord).outcome
-            for coord in space.iter_coordinates()}
+    return run_brute_force(golden, domain=REGISTER, jobs=jobs).outcomes

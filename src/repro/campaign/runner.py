@@ -1,6 +1,8 @@
 """Campaign runners: full fault-space scans and sampling campaigns.
 
-Three campaign styles are provided:
+Three campaign styles are provided, each generic over a
+:class:`~repro.faultspace.domain.FaultDomain` (memory by default,
+``domain="register"`` for the Section VI-B register fault model):
 
 * :func:`run_full_scan` — the def/use-pruned full fault-space scan: one
   experiment per live equivalence class and bit, dead classes accounted
@@ -11,6 +13,10 @@ Three campaign styles are provided:
 * :func:`run_sampling` — a sampled campaign with a pluggable sampler
   (raw-uniform, live-only, or the deliberately biased class sampler for
   Pitfall 2 demonstrations).
+
+All three accept ``jobs=`` for multiprocess sharding and produce results
+bit-for-bit identical to their serial runs; see
+:mod:`repro.campaign.parallel`.
 """
 
 from __future__ import annotations
@@ -19,8 +25,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..faultspace.defuse import ByteInterval, DefUsePartition, LIVE
-from ..faultspace.model import FaultCoordinate
+from ..faultspace.defuse import LIVE
+from ..faultspace.domain import FaultDomain, MEMORY, get_domain
 from ..faultspace.sampling import (
     BiasedClassSampler,
     LiveOnlySampler,
@@ -36,36 +42,44 @@ ProgressCallback = Callable[[int, int], None]
 
 @dataclass
 class CampaignResult:
-    """Outcome of a def/use-pruned full fault-space scan.
+    """Outcome of a def/use-pruned full fault-space scan, in any domain.
 
-    ``class_outcomes`` maps each live class key ``(addr, first_slot)`` to
-    the 8 per-bit outcomes of its representative experiments.
+    ``class_outcomes`` maps each live class key ``(axis, first_slot)``
+    — byte address or register number, depending on the domain — to the
+    per-bit outcomes of its representative experiments (8 for memory
+    classes, 32 for register classes).
     """
 
     golden: GoldenRun
-    partition: DefUsePartition
+    partition: object
     class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]]
     records: list[ExperimentRecord] = field(default_factory=list)
+    domain: FaultDomain = MEMORY
+
+    @property
+    def fault_space(self):
+        """The raw fault space the scan covered."""
+        return self.partition.fault_space
 
     @property
     def fault_space_size(self) -> int:
-        """w = Δt · Δm."""
-        return self.golden.fault_space.size
+        """w — Δt · Δm for memory, Δt · 15 · 32 for registers."""
+        return self.partition.fault_space.size
 
     @property
     def experiments_conducted(self) -> int:
         # Derived from the stored outcome tuples rather than hardcoding
-        # 8 bits per class, so campaigns over other fault spaces (e.g.
-        # 32-bit register words) report correct totals.
+        # the domain's bit width, so 8-bit memory classes and 32-bit
+        # register classes both report correct totals.
         return sum(len(outcomes)
                    for outcomes in self.class_outcomes.values())
 
-    def outcome_of(self, coordinate: FaultCoordinate) -> Outcome:
+    def outcome_of(self, coordinate) -> Outcome:
         """The outcome of any raw coordinate, resolved via its class."""
         interval = self.partition.locate(coordinate)
         if interval.kind != LIVE:
             return Outcome.NO_EFFECT
-        key = (interval.addr, interval.first_slot)
+        key = self.domain.class_key(interval)
         return self.class_outcomes[key][coordinate.bit]
 
     def weighted_counts(self) -> Counter:
@@ -77,8 +91,7 @@ class CampaignResult:
         """
         counts: Counter = Counter()
         for interval in self.partition.live_classes():
-            outcomes = self.class_outcomes[(interval.addr,
-                                            interval.first_slot)]
+            outcomes = self.class_outcomes[self.domain.class_key(interval)]
             for outcome in outcomes:
                 counts[outcome] += interval.length
         counts[Outcome.NO_EFFECT] += self.partition.known_no_effect_weight
@@ -95,17 +108,27 @@ class CampaignResult:
             counts.update(outcomes)
         return counts
 
-    def class_records(self) -> list[tuple[ByteInterval, tuple[Outcome, ...]]]:
+    def weighted_failure_count(self) -> int:
+        """Absolute failure count F, weighted to the raw fault space."""
+        return sum(count for outcome, count in self.weighted_counts()
+                   .items() if outcome.is_failure)
+
+    def weighted_coverage(self) -> float:
+        """Fault coverage c = 1 - F/w (per-program figure; see metrics)."""
+        return 1.0 - self.weighted_failure_count() / self.fault_space_size
+
+    def class_records(self) -> list[tuple[object, tuple[Outcome, ...]]]:
         """Live classes paired with their per-bit outcomes."""
         out = []
         for interval in self.partition.live_classes():
-            key = (interval.addr, interval.first_slot)
-            out.append((interval, self.class_outcomes[key]))
+            out.append((interval,
+                        self.class_outcomes[self.domain.class_key(interval)]))
         return out
 
 
 def _parallel_campaign(golden: GoldenRun, jobs: int,
-                       executor: ExperimentExecutor | None):
+                       executor: ExperimentExecutor | None,
+                       domain: FaultDomain):
     """Build the parallel driver for a runner-level ``jobs`` request."""
     from .parallel import ParallelCampaign
 
@@ -113,42 +136,48 @@ def _parallel_campaign(golden: GoldenRun, jobs: int,
         raise ValueError(
             "an explicit executor cannot be shared across worker "
             "processes; drop the executor argument or run with jobs=None")
-    return ParallelCampaign(golden, jobs)
+    return ParallelCampaign(golden, jobs, domain=domain)
 
 
 def run_full_scan(golden: GoldenRun, *,
-                  partition: DefUsePartition | None = None,
+                  partition=None,
                   executor: ExperimentExecutor | None = None,
                   keep_records: bool = False,
                   progress: ProgressCallback | None = None,
-                  jobs: int | None = None) -> CampaignResult:
+                  jobs: int | None = None,
+                  domain: FaultDomain | str = MEMORY) -> CampaignResult:
     """Def/use-pruned full fault-space scan (exact, no sampling error).
 
     ``jobs`` selects the execution engine: ``None`` (default) runs
     serially in-process, ``0`` uses one worker process per CPU, any
-    positive count that many workers.  Results are identical either way.
+    positive count that many workers.  ``domain`` selects the fault
+    model (``"memory"`` or ``"register"``).  Results are identical for
+    every engine choice.
     """
+    domain = get_domain(domain)
     if jobs is not None:
-        return _parallel_campaign(golden, jobs, executor).run_full_scan(
+        return _parallel_campaign(golden, jobs, executor,
+                                  domain).run_full_scan(
             partition=partition, keep_records=keep_records,
             progress=progress)
     if partition is None:
-        partition = golden.partition()
+        partition = domain.build_partition(golden)
     if executor is None:
-        executor = ExperimentExecutor(golden)
+        executor = ExperimentExecutor(golden, domain=domain)
     live = partition.live_classes()  # sorted by injection slot
     class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
     records: list[ExperimentRecord] = []
     for done, interval in enumerate(live):
         results = [executor.run(coord) for coord in interval.experiments()]
-        class_outcomes[(interval.addr, interval.first_slot)] = tuple(
+        class_outcomes[domain.class_key(interval)] = tuple(
             record.outcome for record in results)
         if keep_records:
             records.extend(results)
         if progress is not None:
             progress(done + 1, len(live))
     return CampaignResult(golden=golden, partition=partition,
-                          class_outcomes=class_outcomes, records=records)
+                          class_outcomes=class_outcomes, records=records,
+                          domain=domain)
 
 
 @dataclass
@@ -156,35 +185,39 @@ class BruteForceResult:
     """Ground-truth scan: one real experiment per raw coordinate."""
 
     golden: GoldenRun
-    outcomes: dict[FaultCoordinate, Outcome]
+    outcomes: dict
+    domain: FaultDomain = MEMORY
 
     def counts(self) -> Counter:
         return Counter(self.outcomes.values())
 
     @property
     def fault_space_size(self) -> int:
-        return self.golden.fault_space.size
+        return self.domain.fault_space(self.golden).size
 
 
 def run_brute_force(golden: GoldenRun, *,
                     executor: ExperimentExecutor | None = None,
-                    jobs: int | None = None) -> BruteForceResult:
+                    jobs: int | None = None,
+                    domain: FaultDomain | str = MEMORY) -> BruteForceResult:
     """Run one experiment for *every* fault-space coordinate.
 
     Only feasible for tiny programs; used by tests and examples to prove
     that def/use pruning plus weighting reproduces these numbers exactly.
-    ``jobs`` behaves as in :func:`run_full_scan`.
+    ``jobs`` and ``domain`` behave as in :func:`run_full_scan`.
     """
+    domain = get_domain(domain)
     if jobs is not None:
-        return _parallel_campaign(golden, jobs, executor).run_brute_force()
+        return _parallel_campaign(golden, jobs, executor,
+                                  domain).run_brute_force()
     if executor is None:
-        executor = ExperimentExecutor(golden)
-    space = golden.fault_space
-    outcomes: dict[FaultCoordinate, Outcome] = {}
+        executor = ExperimentExecutor(golden, domain=domain)
+    space = domain.fault_space(golden)
+    outcomes: dict = {}
     # Iterate slot-major so the executor's fast-forward engages.
     for coord in space.iter_coordinates():
         outcomes[coord] = executor.run(coord).outcome
-    return BruteForceResult(golden=golden, outcomes=outcomes)
+    return BruteForceResult(golden=golden, outcomes=outcomes, domain=domain)
 
 
 @dataclass
@@ -203,11 +236,12 @@ class SamplingResult:
     """
 
     golden: GoldenRun
-    partition: DefUsePartition
+    partition: object
     samples: list[tuple[Sample, Outcome]]
     population: int
     experiments_conducted: int
     sampler: str
+    domain: FaultDomain = MEMORY
 
     @property
     def n_samples(self) -> int:
@@ -225,8 +259,8 @@ SAMPLERS = ("uniform", "live-only", "biased-class")
 
 
 def _draw_classified(golden: GoldenRun, n_samples: int, seed: int,
-                     sampler: str, partition: DefUsePartition
-                     ) -> tuple[list[Sample], int]:
+                     sampler: str, partition,
+                     domain: FaultDomain) -> tuple[list[Sample], int]:
     """Draw and classify samples; shared by the serial and parallel paths.
 
     Returns the drawn samples (original order) and the population size
@@ -235,19 +269,20 @@ def _draw_classified(golden: GoldenRun, n_samples: int, seed: int,
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     if sampler == "uniform":
-        drawn = UniformSampler(golden.fault_space, seed=seed) \
+        drawn = UniformSampler(domain.fault_space(golden), seed=seed,
+                               domain=domain) \
             .draw_classified(n_samples, partition)
-        population = golden.fault_space.size
+        population = domain.fault_space(golden).size
     elif sampler == "live-only":
-        live_sampler = LiveOnlySampler(partition, seed=seed)
+        live_sampler = LiveOnlySampler(partition, seed=seed, domain=domain)
         drawn = live_sampler.draw_classified(n_samples)
         population = live_sampler.population
     elif sampler == "biased-class":
-        drawn = BiasedClassSampler(partition, seed=seed) \
+        drawn = BiasedClassSampler(partition, seed=seed, domain=domain) \
             .draw_classified(n_samples)
         # The biased sampler has no meaningful population; report w so the
         # demonstration can show how wrong its extrapolation is.
-        population = golden.fault_space.size
+        population = domain.fault_space(golden).size
     else:
         raise ValueError(f"unknown sampler {sampler!r}; pick from {SAMPLERS}")
     return drawn, population
@@ -255,33 +290,37 @@ def _draw_classified(golden: GoldenRun, n_samples: int, seed: int,
 
 def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                  sampler: str = "uniform",
-                 partition: DefUsePartition | None = None,
+                 partition=None,
                  executor: ExperimentExecutor | None = None,
                  progress: ProgressCallback | None = None,
-                 jobs: int | None = None) -> SamplingResult:
+                 jobs: int | None = None,
+                 domain: FaultDomain | str = MEMORY) -> SamplingResult:
     """Run a sampled campaign with def/use-pruned experiment sharing.
 
     ``progress`` is called after each *conducted* experiment with
     ``(done, total)`` over the distinct (class, bit) experiment keys the
-    drawn samples require.  ``jobs`` behaves as in :func:`run_full_scan`.
+    drawn samples require.  ``jobs`` and ``domain`` behave as in
+    :func:`run_full_scan`.
     """
+    domain = get_domain(domain)
     if jobs is not None:
-        return _parallel_campaign(golden, jobs, executor).run_sampling(
+        return _parallel_campaign(golden, jobs, executor,
+                                  domain).run_sampling(
             n_samples, seed=seed, sampler=sampler, partition=partition,
             progress=progress)
     if partition is None:
-        partition = golden.partition()
+        partition = domain.build_partition(golden)
     if executor is None:
-        executor = ExperimentExecutor(golden)
+        executor = ExperimentExecutor(golden, domain=domain)
 
     drawn, population = _draw_classified(golden, n_samples, seed, sampler,
-                                         partition)
+                                         partition, domain)
 
     # One experiment per distinct (class, bit); dead classes need none.
     total_experiments = 0
     if progress is not None:
         total_experiments = len({
-            (interval.addr, interval.first_slot, sample.coordinate.bit)
+            domain.class_key(interval) + (sample.coordinate.bit,)
             for sample, interval in (
                 (s, partition.locate(s.coordinate)) for s in drawn
                 if s.class_kind == LIVE)})
@@ -300,11 +339,11 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
             outcome_by_index[i] = Outcome.NO_EFFECT
             continue
         interval = partition.locate(sample.coordinate)
-        key = (interval.addr, interval.first_slot, sample.coordinate.bit)
+        key = domain.class_key(interval) + (sample.coordinate.bit,)
         if key not in cache:
-            representative = FaultCoordinate(
-                slot=interval.injection_slot, addr=interval.addr,
-                bit=sample.coordinate.bit)
+            representative = domain.coordinate(
+                interval.injection_slot, domain.axis_of(interval),
+                sample.coordinate.bit)
             cache[key] = executor.run(representative).outcome
             experiments += 1
             if progress is not None:
@@ -313,4 +352,5 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
     results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]
     return SamplingResult(golden=golden, partition=partition,
                           samples=results, population=population,
-                          experiments_conducted=experiments, sampler=sampler)
+                          experiments_conducted=experiments, sampler=sampler,
+                          domain=domain)

@@ -4,19 +4,22 @@ Commands:
 
 ``table1``
     Print the Poisson fault-count table (Table I).
-``scan <program> [--jobs N] [--samples N]``
+``scan <program> [--domain D] [--jobs N] [--samples N]``
     Run a def/use-pruned full fault-space scan of a registered program
     and print its outcome histogram, coverage and failure count; with
-    ``--samples`` run a sampled campaign instead.  ``--jobs`` shards
-    the campaign over worker processes (0 = one per CPU) and a live
-    progress/ETA line is printed to stderr.
+    ``--samples`` run a sampled campaign instead.  ``--domain`` picks
+    the fault model (memory bits by default, ``register`` for the
+    Section VI-B register file).  ``--jobs`` shards the campaign over
+    worker processes (0 = one per CPU) and a live progress/ETA line is
+    printed to stderr.
 ``fig3``
     Run the Section IV dilution experiment and print the table.
 ``fig2 [--rounds N] [--items N]``
     Run the four Figure 2 campaigns (reduced sizes by default) and
     print the panels and verdicts.
-``list``
-    List the registered benchmark programs.
+``list [--sizes]``
+    List the registered benchmark programs; ``--sizes`` records each
+    golden run and prints both domains' fault-space sizes.
 ``render <program>``
     Print the ASCII fault-space diagram of a (small) program.
 """
@@ -43,6 +46,7 @@ from .campaign import (
     run_sampling,
 )
 from .campaign.runner import SAMPLERS
+from .faultspace import DOMAINS, REGISTER, get_domain
 from .metrics import weighted_coverage, weighted_failure_count
 from .programs import all_programs, bin_sem2, hi, sync2
 
@@ -83,27 +87,39 @@ def cmd_table1(_args) -> None:
     print(table1_report())
 
 
-def cmd_list(_args) -> None:
+def cmd_list(args) -> None:
     for name, thunk in sorted(all_programs().items()):
         program = thunk()
-        print(f"{name:20s} rom={program.rom_size:4d} "
-              f"ram={program.ram_size:5d}B")
+        line = (f"{name:20s} rom={program.rom_size:4d} "
+                f"ram={program.ram_size:5d}B")
+        if args.sizes:
+            golden = record_golden(program)
+            line += (f" Δt={golden.cycles:6d}"
+                     f" w_mem={golden.fault_space.size:10d}"
+                     f" w_reg={REGISTER.fault_space(golden).size:10d}")
+        print(line)
 
 
 def cmd_render(args) -> None:
     golden = record_golden(_resolve(args.program))
+    print(f"{golden.program.name}: Δt={golden.cycles} cycles, "
+          f"memory w={golden.fault_space.size}, "
+          f"register w={REGISTER.fault_space(golden).size}")
     print(render_fault_space(golden, max_cycles=args.max_cycles,
                              max_bytes=args.max_bytes))
 
 
 def cmd_scan(args) -> None:
     program = _resolve(args.program)
+    domain = get_domain(args.domain)
     golden = record_golden(program)
-    print(f"{program.name}: Δt={golden.cycles} cycles, "
-          f"Δm={program.ram_size} bytes, w={golden.fault_space.size}")
+    space = domain.fault_space(golden)
+    print(f"{program.name} [{domain.name} domain]: "
+          f"Δt={golden.cycles} cycles, w={space.size}")
     if args.samples:
         result = run_sampling(golden, args.samples, seed=args.seed,
                               sampler=args.sampler, jobs=args.jobs,
+                              domain=domain,
                               progress=_eta_progress("experiments"))
         scale = result.population / result.n_samples
         print(f"sampled {result.n_samples} faults "
@@ -116,7 +132,7 @@ def cmd_scan(args) -> None:
         print(f"estimated failure count F̂: "
               f"{result.failure_count() * scale:.0f}")
         return
-    scan = run_full_scan(golden, jobs=args.jobs,
+    scan = run_full_scan(golden, jobs=args.jobs, domain=domain,
                          progress=_eta_progress("classes"))
     print(outcome_histogram(scan))
     print(f"\nweighted coverage: {100 * weighted_coverage(scan):.2f}%")
@@ -164,8 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print Table I").set_defaults(
         func=cmd_table1)
-    sub.add_parser("list", help="list registered programs").set_defaults(
-        func=cmd_list)
+    listing = sub.add_parser("list", help="list registered programs")
+    listing.add_argument("--sizes", action="store_true",
+                         help="record golden runs and print the memory "
+                              "and register fault-space sizes")
+    listing.set_defaults(func=cmd_list)
 
     render = sub.add_parser("render", help="ASCII fault-space diagram")
     render.add_argument("program")
@@ -175,6 +194,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     scan = sub.add_parser("scan", help="full fault-space scan")
     scan.add_argument("program")
+    scan.add_argument("--domain", choices=sorted(DOMAINS),
+                      default="memory",
+                      help="fault model to scan (default: memory)")
     scan.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
                       help="worker processes (0 = one per CPU; "
                            "default: serial)")

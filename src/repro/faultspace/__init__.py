@@ -1,6 +1,15 @@
 """Fault-space modeling: the cycles × bits grid, def/use pruning, sampling."""
 
 from .defuse import ByteInterval, DefUsePartition, DEAD, LIVE
+from .domain import (
+    DOMAINS,
+    FaultDomain,
+    MEMORY,
+    MemoryDomain,
+    REGISTER,
+    RegisterDomain,
+    get_domain,
+)
 from .model import FaultCoordinate, FaultSpace
 from .regions import Region, RegionMap
 from .registers import (
@@ -21,6 +30,13 @@ from .sampling import (
 
 __all__ = [
     "BiasedClassSampler",
+    "DOMAINS",
+    "FaultDomain",
+    "MEMORY",
+    "MemoryDomain",
+    "REGISTER",
+    "RegisterDomain",
+    "get_domain",
     "REGISTER_BITS",
     "RegisterFaultCoordinate",
     "RegisterFaultSpace",

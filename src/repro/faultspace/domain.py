@@ -1,0 +1,198 @@
+"""Fault domains: one campaign stack, many fault models (Section VI-B).
+
+The paper restricts its fault model to main memory, but Section VI-B
+argues the three pitfalls and their remedies apply to *any* state whose
+reads and writes can be traced — CPU registers, caches, microarchitectural
+state.  A :class:`FaultDomain` bundles everything the campaign engine
+needs to know about one such fault model:
+
+* the **fault space** spanned by a golden run (``Δt × Δm`` memory bits,
+  ``Δt × 15 regs × 32 bits``, ...);
+* the **def/use partition builder** that prunes that space into
+  equivalence classes;
+* the **class key** and **coordinate factory** that connect intervals,
+  raw coordinates and campaign dictionaries;
+* the **injector** that applies a fault coordinate to a paused machine.
+
+The generic runners (:mod:`repro.campaign.runner`), the parallel sharder
+(:mod:`repro.campaign.parallel`), the samplers
+(:mod:`repro.faultspace.sampling`), persistence and metrics are all
+written against this interface, so a new fault model (multi-bit faults,
+instruction operands, ...) is one subclass plus a :data:`DOMAINS` entry —
+not another fork of the campaign stack.
+
+Domains are stateless singletons (:data:`MEMORY`, :data:`REGISTER`);
+they pickle trivially, which the multi-process campaign engine relies
+on.  ``get_domain`` accepts either a domain instance or its registry
+name, so every public API takes ``domain="register"`` as a convenience.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..isa.isa import NUM_REGS
+from .defuse import ByteInterval, DefUsePartition
+from .model import FaultCoordinate, FaultSpace
+from .registers import (
+    REGISTER_BITS,
+    RegisterFaultCoordinate,
+    RegisterFaultSpace,
+    RegisterInterval,
+    RegisterPartition,
+)
+
+
+class FaultDomain:
+    """Interface one fault model exposes to the generic campaign stack.
+
+    Subclasses define class attributes ``name`` (registry key, also used
+    for persistence) and ``bits`` (experiments per live equivalence
+    class — the bit width of one unit on the domain's spatial axis), and
+    implement every method below.  Instances must be stateless: the
+    parallel engine ships them to worker processes by name.
+    """
+
+    #: Registry name, also stored in :class:`CampaignSummary.domain`.
+    name: str = ""
+    #: Bits per spatial unit == experiments per live class.
+    bits: int = 0
+
+    # -- spaces and partitions ------------------------------------------------
+
+    def fault_space(self, golden):
+        """The fault space one golden run spans in this domain."""
+        raise NotImplementedError
+
+    def build_partition(self, golden):
+        """Def/use-prune the domain's fault space (validated)."""
+        raise NotImplementedError
+
+    # -- coordinates and classes ----------------------------------------------
+
+    def axis_of(self, interval) -> int:
+        """The spatial-axis index of an equivalence class (addr / reg)."""
+        raise NotImplementedError
+
+    def class_key(self, interval) -> tuple[int, int]:
+        """Hashable identity of a class: ``(axis, first_slot)``."""
+        return (self.axis_of(interval), interval.first_slot)
+
+    def coordinate(self, slot: int, axis: int, bit: int):
+        """Build a raw fault coordinate from (slot, axis, bit)."""
+        raise NotImplementedError
+
+    def coordinate_axis(self, coordinate) -> int:
+        """The spatial-axis index of a raw coordinate."""
+        raise NotImplementedError
+
+    def slot_coordinates(self, space, slot: int) -> Iterator:
+        """All raw coordinates of one injection slot, in scan order."""
+        raise NotImplementedError
+
+    # -- injection ------------------------------------------------------------
+
+    def inject(self, machine, coordinate) -> None:
+        """Apply the fault to a machine paused at the injection slot."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultDomain {self.name!r}>"
+
+
+class MemoryDomain(FaultDomain):
+    """The paper's fault model: single bit flips in main memory."""
+
+    name = "memory"
+    bits = 8
+
+    def fault_space(self, golden) -> FaultSpace:
+        return golden.fault_space
+
+    def build_partition(self, golden) -> DefUsePartition:
+        return golden.partition()
+
+    def axis_of(self, interval: ByteInterval) -> int:
+        return interval.addr
+
+    def coordinate(self, slot: int, axis: int, bit: int) -> FaultCoordinate:
+        return FaultCoordinate(slot=slot, addr=axis, bit=bit)
+
+    def coordinate_axis(self, coordinate: FaultCoordinate) -> int:
+        return coordinate.addr
+
+    def slot_coordinates(self, space: FaultSpace,
+                         slot: int) -> Iterator[FaultCoordinate]:
+        for addr in range(space.ram_bytes):
+            for bit in range(8):
+                yield FaultCoordinate(slot=slot, addr=addr, bit=bit)
+
+    def inject(self, machine, coordinate: FaultCoordinate) -> None:
+        machine.flip_bit(coordinate.addr, coordinate.bit)
+
+
+class RegisterDomain(FaultDomain):
+    """Section VI-B: single bit flips in the general-purpose registers."""
+
+    name = "register"
+    bits = REGISTER_BITS
+
+    def fault_space(self, golden) -> RegisterFaultSpace:
+        return RegisterFaultSpace(cycles=golden.cycles)
+
+    def build_partition(self, golden) -> RegisterPartition:
+        partition = RegisterPartition.from_pc_trace(
+            golden.program.rom, golden.executed_pcs())
+        partition.validate()
+        return partition
+
+    def axis_of(self, interval: RegisterInterval) -> int:
+        return interval.reg
+
+    def coordinate(self, slot: int, axis: int,
+                   bit: int) -> RegisterFaultCoordinate:
+        return RegisterFaultCoordinate(slot=slot, reg=axis, bit=bit)
+
+    def coordinate_axis(self, coordinate: RegisterFaultCoordinate) -> int:
+        return coordinate.reg
+
+    def slot_coordinates(self, space: RegisterFaultSpace,
+                         slot: int) -> Iterator[RegisterFaultCoordinate]:
+        for reg in range(1, NUM_REGS):
+            for bit in range(REGISTER_BITS):
+                yield RegisterFaultCoordinate(slot=slot, reg=reg, bit=bit)
+
+    def inject(self, machine, coordinate: RegisterFaultCoordinate) -> None:
+        machine.flip_register_bit(coordinate.reg, coordinate.bit)
+
+
+#: The two built-in domains, as shared stateless singletons.
+MEMORY = MemoryDomain()
+REGISTER = RegisterDomain()
+
+#: Registry of available fault domains, keyed by name.  Third-party
+#: domains register here to become usable via ``domain="<name>"`` in
+#: every campaign entry point (and via ``--domain`` on the CLI).
+DOMAINS: dict[str, FaultDomain] = {
+    MEMORY.name: MEMORY,
+    REGISTER.name: REGISTER,
+}
+
+
+def get_domain(domain: FaultDomain | str | None) -> FaultDomain:
+    """Resolve a domain argument: an instance, a registry name, or None.
+
+    ``None`` means the default (memory) domain, preserving the behaviour
+    of every pre-domain API.
+    """
+    if domain is None:
+        return MEMORY
+    if isinstance(domain, FaultDomain):
+        return domain
+    try:
+        return DOMAINS[domain]
+    except KeyError:
+        available = ", ".join(sorted(DOMAINS))
+        raise ValueError(
+            f"unknown fault domain {domain!r}; available: {available}"
+        ) from None

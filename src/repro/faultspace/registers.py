@@ -93,6 +93,35 @@ class RegisterFaultSpace:
     def size(self) -> int:
         return self.cycles * (NUM_REGS - 1) * REGISTER_BITS
 
+    @property
+    def slot_bits(self) -> int:
+        """Fault-space coordinates per injection slot (15 regs × 32)."""
+        return (NUM_REGS - 1) * REGISTER_BITS
+
+    def contains(self, coord: RegisterFaultCoordinate) -> bool:
+        return 1 <= coord.slot <= self.cycles
+
+    def coordinate(self, index: int) -> RegisterFaultCoordinate:
+        """Map a flat index in ``[0, size)`` to a coordinate.
+
+        Row-major over (slot, reg, bit), mirroring
+        :meth:`repro.faultspace.model.FaultSpace.coordinate`; samplers
+        draw uniform flat indices and convert them here, which gives
+        the raw-space uniformity Pitfall 2 demands in this domain too.
+        """
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside fault space")
+        slot, rest = divmod(index, self.slot_bits)
+        reg, bit = divmod(rest, REGISTER_BITS)
+        return RegisterFaultCoordinate(slot=slot + 1, reg=reg + 1, bit=bit)
+
+    def index(self, coord: RegisterFaultCoordinate) -> int:
+        """Inverse of :meth:`coordinate`."""
+        if not self.contains(coord):
+            raise IndexError(f"{coord} outside fault space")
+        return ((coord.slot - 1) * self.slot_bits
+                + (coord.reg - 1) * REGISTER_BITS + coord.bit)
+
     def iter_coordinates(self):
         for slot in range(1, self.cycles + 1):
             for reg in range(1, NUM_REGS):

@@ -1,34 +1,46 @@
-"""Fault-space samplers.
+"""Fault-space samplers, generic over fault domains.
 
-Two samplers are provided:
+Three samplers are provided:
 
 * :class:`UniformSampler` — the correct one: draws coordinates uniformly
   from the *raw, unpruned* fault space (Section III-B / III-E).  When
   combined with def/use pruning, several samples may land in the same
   equivalence class; only one experiment is conducted per class, but
   every sample counts in the estimate.
+* :class:`LiveOnlySampler` — the Pitfall 3 Corollary 1 refinement:
+  uniform over the live subset of the space, extrapolated against the
+  live weight ``w'``.
 * :class:`BiasedClassSampler` — deliberately wrong, kept to *demonstrate*
   Pitfall 2: it samples uniformly over pruned equivalence classes,
   ignoring their sizes.  Its estimates are biased whenever class size
   correlates with outcome.
 
-Both samplers are deterministic given a seed.
+All three are deterministic given a seed and work for any registered
+:class:`~repro.faultspace.domain.FaultDomain` — the domain supplies the
+coordinate factory, the spatial-axis accessor and the per-class bit
+width, so memory and register campaigns share one sampling stack.
 """
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 
-from .defuse import DefUsePartition, LIVE
-from .model import FaultCoordinate, FaultSpace
+from .defuse import LIVE
+from .domain import FaultDomain, MEMORY, get_domain
 
 
 @dataclass(frozen=True)
 class Sample:
-    """One drawn sample: the raw coordinate and its equivalence class."""
+    """One drawn sample: the raw coordinate and its equivalence class.
 
-    coordinate: FaultCoordinate
+    ``addr`` is the spatial-axis index of the class the sample fell
+    into: the byte address in the memory domain, the register number in
+    the register domain.
+    """
+
+    coordinate: object
     addr: int
     class_first_slot: int
     class_kind: str
@@ -42,11 +54,13 @@ class Sample:
 class UniformSampler:
     """Uniform sampling (with replacement) from the raw fault space."""
 
-    def __init__(self, fault_space: FaultSpace, *, seed: int = 0):
+    def __init__(self, fault_space, *, seed: int = 0,
+                 domain: FaultDomain | str = MEMORY):
         self.fault_space = fault_space
+        self.domain = get_domain(domain)
         self._rng = random.Random(seed)
 
-    def draw(self, count: int) -> list[FaultCoordinate]:
+    def draw(self, count: int) -> list:
         """Draw ``count`` coordinates uniformly from the raw space."""
         if count < 0:
             raise ValueError("count must be >= 0")
@@ -54,15 +68,15 @@ class UniformSampler:
         return [self.fault_space.coordinate(self._rng.randrange(size))
                 for _ in range(count)]
 
-    def draw_classified(self, count: int,
-                        partition: DefUsePartition) -> list[Sample]:
+    def draw_classified(self, count: int, partition) -> list[Sample]:
         """Draw ``count`` samples and map each to its def/use class."""
+        axis_of = self.domain.axis_of
         samples = []
         for coord in self.draw(count):
             interval = partition.locate(coord)
             samples.append(Sample(
                 coordinate=coord,
-                addr=interval.addr,
+                addr=axis_of(interval),
                 class_first_slot=interval.first_slot,
                 class_kind=interval.kind,
             ))
@@ -79,8 +93,10 @@ class LiveOnlySampler:
     Extrapolation must then use ``w'`` as the population size.
     """
 
-    def __init__(self, partition: DefUsePartition, *, seed: int = 0):
+    def __init__(self, partition, *, seed: int = 0,
+                 domain: FaultDomain | str = MEMORY):
         self.partition = partition
+        self.domain = get_domain(domain)
         self._rng = random.Random(seed)
         self._live = partition.live_classes()
         # Cumulative weights over live classes enable O(log n) draws.
@@ -93,25 +109,24 @@ class LiveOnlySampler:
 
     def draw_classified(self, count: int) -> list[Sample]:
         """Draw ``count`` samples uniformly from live coordinates."""
-        import bisect
-
         if count < 0:
             raise ValueError("count must be >= 0")
         if self.population == 0:
             raise ValueError("no live coordinates to sample from")
+        domain = self.domain
         samples = []
         for _ in range(count):
             flat = self._rng.randrange(self.population)
             idx = bisect.bisect_right(self._cumulative, flat)
             interval = self._live[idx]
             offset = flat - (self._cumulative[idx] - interval.weight_bits)
-            slot_offset, bit = divmod(offset, 8)
-            coord = FaultCoordinate(
-                slot=interval.first_slot + slot_offset,
-                addr=interval.addr, bit=bit)
+            slot_offset, bit = divmod(offset, domain.bits)
+            axis = domain.axis_of(interval)
+            coord = domain.coordinate(
+                interval.first_slot + slot_offset, axis, bit)
             samples.append(Sample(
                 coordinate=coord,
-                addr=interval.addr,
+                addr=axis,
                 class_first_slot=interval.first_slot,
                 class_kind=interval.kind,
             ))
@@ -124,11 +139,14 @@ class BiasedClassSampler:
     Each draw picks a live equivalence class uniformly at random
     (regardless of its size) and injects at its representative
     coordinate.  Kept in the library purely so the bias can be measured
-    and demonstrated; do not use for real campaigns.
+    and demonstrated — in every fault domain; do not use for real
+    campaigns.
     """
 
-    def __init__(self, partition: DefUsePartition, *, seed: int = 0):
+    def __init__(self, partition, *, seed: int = 0,
+                 domain: FaultDomain | str = MEMORY):
         self.partition = partition
+        self.domain = get_domain(domain)
         self._rng = random.Random(seed)
         self._live = partition.live_classes()
         if not self._live:
@@ -137,15 +155,16 @@ class BiasedClassSampler:
     def draw_classified(self, count: int) -> list[Sample]:
         if count < 0:
             raise ValueError("count must be >= 0")
+        domain = self.domain
         samples = []
         for _ in range(count):
             interval = self._rng.choice(self._live)
-            bit = self._rng.randrange(8)
-            coord = FaultCoordinate(slot=interval.injection_slot,
-                                    addr=interval.addr, bit=bit)
+            bit = self._rng.randrange(domain.bits)
+            axis = domain.axis_of(interval)
+            coord = domain.coordinate(interval.injection_slot, axis, bit)
             samples.append(Sample(
                 coordinate=coord,
-                addr=interval.addr,
+                addr=axis,
                 class_first_slot=interval.first_slot,
                 class_kind=LIVE,
             ))

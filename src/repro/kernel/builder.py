@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..hardening.checksum import WORD, additive_checksum
+from ..hardening.checksum import WORD
 from ..hardening.sumdmr import ProtectedObject, SumDmrEmitter
 from ..isa.assembler import Program, assemble
 

@@ -21,7 +21,7 @@ import math
 from dataclasses import dataclass
 
 from ..campaign.database import CampaignSummary
-from ..campaign.runner import CampaignResult, SamplingResult
+from ..campaign.runner import CampaignResult
 from .coverage import (
     unweighted_coverage,
     weighted_coverage,

@@ -55,7 +55,9 @@ def weighted_coverage(result) -> float:
 
     F is the weighted failure count; N is the full fault-space size w.
     Correct as a *single-program* figure under the uniform fault model —
-    but still not comparable across programs (Pitfall 3).
+    but still not comparable across programs (Pitfall 3).  Accepts
+    results and summaries from any fault domain (memory, register);
+    w is the domain's own fault-space size.
     """
     summary = _as_summary(result)
     return coverage_from_counts(_failures(summary.weighted()),

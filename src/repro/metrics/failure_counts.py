@@ -13,6 +13,10 @@ extrapolated to the population size (Pitfall 3, Corollary 2)::
     F_extrapolated = population · F_sampled / N_sampled
 
 "No Effect" results are irrelevant and excluded (Corollary 1).
+
+Every function here is generic over fault domains: memory and register
+campaign results (full scans and sampled) flow through the same code,
+with the population taken from the result's own domain.
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
 """Tests for campaign result persistence and caching."""
 
+import json
+
 import pytest
 
 from repro.campaign import (
@@ -19,6 +21,11 @@ def hi_scan():
     return run_full_scan(record_golden(hi.baseline()))
 
 
+@pytest.fixture(scope="module")
+def hi_register_scan():
+    return run_full_scan(record_golden(hi.baseline()), domain="register")
+
+
 class TestCampaignSummary:
     def test_from_result_captures_counts(self, hi_scan):
         summary = CampaignSummary.from_result(hi_scan)
@@ -29,7 +36,24 @@ class TestCampaignSummary:
 
     def test_json_roundtrip(self, hi_scan):
         summary = CampaignSummary.from_result(hi_scan)
+        assert summary.domain == "memory"
         clone = CampaignSummary.from_json(summary.to_json())
+        assert clone == summary
+
+    def test_register_domain_roundtrip(self, hi_register_scan):
+        summary = CampaignSummary.from_result(hi_register_scan)
+        assert summary.domain == "register"
+        clone = CampaignSummary.from_json(summary.to_json())
+        assert clone == summary
+        assert clone.domain == "register"
+
+    def test_legacy_json_without_domain_loads_as_memory(self, hi_scan):
+        """Summaries cached before the domain field existed still load."""
+        summary = CampaignSummary.from_result(hi_scan)
+        legacy = json.loads(summary.to_json())
+        del legacy["domain"]
+        clone = CampaignSummary.from_json(json.dumps(legacy))
+        assert clone.domain == "memory"
         assert clone == summary
 
 
@@ -73,6 +97,28 @@ class TestCampaignCache:
         path.write_text("{not json")
         assert cache.load(hi.baseline()) is None
 
+    def test_domains_cache_side_by_side(self, tmp_path, hi_scan,
+                                        hi_register_scan):
+        """One program, two domains: distinct entries, no collisions."""
+        cache = CampaignCache(tmp_path)
+        cache.get_or_run(hi.baseline(), lambda: hi_scan)
+        cache.get_or_run(hi.baseline(), lambda: hi_register_scan,
+                         domain="register")
+        memory = cache.load(hi.baseline())
+        register = cache.load(hi.baseline(), domain="register")
+        assert memory.domain == "memory"
+        assert register.domain == "register"
+        assert memory.fault_space_size != register.fault_space_size
+
+    def test_memory_domain_keeps_legacy_filenames(self, tmp_path, hi_scan):
+        """Pre-domain cache files (no suffix) must still hit."""
+        cache = CampaignCache(tmp_path)
+        assert cache._path(hi.baseline()).name \
+            == cache._path(hi.baseline(), "memory").name
+        assert "-memory" not in cache._path(hi.baseline(), "memory").name
+        assert cache._path(hi.baseline(), "register").name \
+            .endswith("-register.json")
+
 
 class TestCsvExport:
     def test_roundtrip(self, tmp_path, hi_scan):
@@ -84,4 +130,16 @@ class TestCsvExport:
         for row, (interval, outcomes) in zip(rows, records):
             assert row["addr"] == interval.addr
             assert row["length"] == interval.length
+            assert row["outcomes"] == outcomes
+
+    def test_register_roundtrip_has_32_bit_columns(self, tmp_path,
+                                                   hi_register_scan):
+        path = tmp_path / "register-results.csv"
+        export_class_results_csv(hi_register_scan, path)
+        rows = import_class_results_csv(path)
+        records = hi_register_scan.class_records()
+        assert len(rows) == len(records)
+        for row, (interval, outcomes) in zip(rows, records):
+            assert row["addr"] == interval.reg
+            assert len(row["outcomes"]) == 32
             assert row["outcomes"] == outcomes

@@ -18,7 +18,7 @@ from repro.faultspace.registers import (
     register_reads,
     register_writes,
 )
-from repro.isa import Op, assemble
+from repro.isa import assemble
 from repro.programs import micro
 
 SOURCE = """

@@ -9,7 +9,6 @@ from repro.campaign import (
     run_full_scan,
     run_sampling,
 )
-from repro.isa import assemble
 from repro.programs import hi, micro
 
 

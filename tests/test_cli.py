@@ -43,10 +43,49 @@ class TestCli:
         assert "estimated failure count" in captured.out
         assert "experiments:" in captured.err
 
+    def test_scan_register_domain(self, capsys):
+        main(["scan", "hi", "--domain", "register"])
+        out = capsys.readouterr().out
+        assert "[register domain]" in out
+        assert "register faults" in out
+        assert "weighted coverage" in out
+        assert "failure count F" in out
+
+    def test_scan_register_parallel_matches_serial(self, capsys):
+        main(["scan", "hi", "--domain", "register"])
+        serial = capsys.readouterr().out
+        main(["scan", "hi", "--domain", "register", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_scan_register_sampling_mode(self, capsys):
+        main(["scan", "hi", "--domain", "register", "--samples", "60",
+              "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "[register domain]" in out
+        assert "sampled 60 faults" in out
+        assert "estimated failure count" in out
+
+    def test_scan_defaults_to_memory_domain(self, capsys):
+        main(["scan", "hi"])
+        out = capsys.readouterr().out
+        assert "[memory domain]" in out
+
+    def test_scan_rejects_unknown_domain(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "hi", "--domain", "cache"])
+
+    def test_list_sizes_shows_both_domains(self, capsys):
+        main(["list", "--sizes"])
+        out = capsys.readouterr().out
+        assert "w_mem=" in out
+        assert "w_reg=" in out
+
     def test_render_hi(self, capsys):
         main(["render", "hi"])
         out = capsys.readouterr().out
         assert "W##R" in out
+        assert "memory w=" in out and "register w=" in out
 
     def test_fig3(self, capsys):
         main(["fig3"])
