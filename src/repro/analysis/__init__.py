@@ -10,6 +10,7 @@ from .figures import (
     table1_data,
 )
 from .report import (
+    completeness_report,
     failure_attribution,
     fig2_report,
     fig3_report,
@@ -21,6 +22,7 @@ from .report import (
 
 __all__ = [
     "Fig2Series",
+    "completeness_report",
     "failure_attribution",
     "fig1_data",
     "fig2_data",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import Counter
 
 from ..campaign.database import CampaignSummary
+from ..campaign.journal import ExecutionReport
 from ..campaign.runner import CampaignResult
 from .figures import Fig2Series, fig2_verdicts, fig3_data, table1_data
 
@@ -96,6 +97,37 @@ def outcome_histogram(result: CampaignResult) -> str:
                         title=f"{result.golden.program.name}: weighted "
                               f"outcome distribution "
                               f"({result.domain.name} faults)")
+
+
+def completeness_report(report: ExecutionReport) -> str:
+    """Render an :class:`~repro.campaign.journal.ExecutionReport` as text.
+
+    Summarizes how the campaign actually ran: fresh vs. journal-resumed
+    work units, wall-clock shard timeouts, worker retries and — for a
+    degraded campaign — how much of the planned fault space the partial
+    result covers.
+    """
+    lines = [f"execution: {report.total_units} work units — "
+             f"{report.executed} executed, {report.resumed} resumed "
+             f"from journal"]
+    if report.timed_out_shards:
+        lines.append(
+            f"  wall-clock timeouts: {report.timed_out_shards} shard(s); "
+            f"{report.synthesized_timeouts} experiment(s) classified "
+            f"as timeout")
+    if report.shard_retries:
+        lines.append(f"  worker retries: {report.shard_retries}")
+    if report.failed_shards:
+        lines.append(f"  shards abandoned after retry budget: "
+                     f"{report.failed_shards}")
+    if report.complete:
+        lines.append("  complete: all planned units accounted for")
+    else:
+        lines.append(
+            f"  INCOMPLETE: {len(report.missing)} unit(s) missing, "
+            f"completeness {100 * report.completeness:.1f}% — rerun "
+            f"with the same journal to finish")
+    return "\n".join(lines)
 
 
 def failure_attribution(result: CampaignResult, *,

@@ -4,6 +4,7 @@ from .database import (
     CampaignCache,
     CampaignSummary,
     export_class_results_csv,
+    export_class_rows_csv,
     import_class_results_csv,
     program_fingerprint,
 )
@@ -14,7 +15,13 @@ from .experiment import (
     ExperimentExecutor,
     ExperimentRecord,
 )
-from .parallel import ParallelCampaign, resolve_jobs
+from .journal import (
+    ExecutionReport,
+    ExperimentJournal,
+    JournalError,
+    JournalMismatchError,
+)
+from .parallel import ParallelCampaign, RetryPolicy, resolve_jobs
 from .golden import (
     DEFAULT_GOLDEN_CYCLE_LIMIT,
     GoldenRun,
@@ -57,11 +64,16 @@ __all__ = [
     "DEFAULT_GOLDEN_CYCLE_LIMIT",
     "DEFAULT_TIMEOUT_FACTOR",
     "DEFAULT_TIMEOUT_SLACK",
+    "ExecutionReport",
     "ExecutorConfig",
     "ExperimentExecutor",
+    "ExperimentJournal",
     "ExperimentRecord",
     "FAILURE_OUTCOMES",
+    "JournalError",
+    "JournalMismatchError",
     "ParallelCampaign",
+    "RetryPolicy",
     "resolve_jobs",
     "GoldenRun",
     "GoldenRunError",
@@ -77,6 +89,7 @@ __all__ = [
     "SamplingResult",
     "classify",
     "export_class_results_csv",
+    "export_class_rows_csv",
     "import_class_results_csv",
     "program_fingerprint",
     "record_golden",

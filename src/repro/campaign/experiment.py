@@ -54,6 +54,22 @@ class ExecutorConfig:
     #: Fault-domain registry name; workers resolve it to the singleton.
     domain: str = MEMORY.name
 
+    def timeout_cycles(self, golden_cycles: int) -> int:
+        """Cycle budget before a run is classified as a timeout.
+
+        This is the paper's hang detector: a faulty run may legitimately
+        take somewhat longer than the golden run, but one that exceeds a
+        multiple of the golden runtime (plus fixed slack for tiny
+        programs) will never halt and is classified
+        :data:`~.outcomes.Outcome.TIMEOUT`.  Shared between the executor
+        and the parallel engine's wall-clock shard guard so both layers
+        agree on what "hung" means.
+        """
+        if self.timeout_factor < 1.0:
+            raise ValueError("timeout_factor must be >= 1.0")
+        return max(int(golden_cycles * self.timeout_factor),
+                   golden_cycles + self.timeout_slack)
+
     def build(self, golden: "GoldenRun",
               executor_class: type | None = None) -> "ExperimentExecutor":
         """Construct an executor for ``golden`` with these settings."""
@@ -93,13 +109,11 @@ class ExperimentExecutor:
                  use_snapshots: bool = True,
                  early_stop: bool = True,
                  domain: FaultDomain | str = MEMORY):
-        if timeout_factor < 1.0:
-            raise ValueError("timeout_factor must be >= 1.0")
         self.golden = golden
         self.domain = get_domain(domain)
-        self.timeout_cycles = max(
-            int(golden.cycles * timeout_factor),
-            golden.cycles + timeout_slack)
+        self.timeout_cycles = ExecutorConfig(
+            timeout_factor=timeout_factor,
+            timeout_slack=timeout_slack).timeout_cycles(golden.cycles)
         self.use_snapshots = use_snapshots
         self.early_stop = early_stop
         oracle = golden.output if early_stop else None

@@ -1,0 +1,432 @@
+"""Durable experiment journal: crash-tolerant, resumable campaigns.
+
+The paper's methodology only pays off when the full def/use-pruned fault
+space is swept for every program variant — campaigns of that size die to
+``KeyboardInterrupt``s, OOM-killed workers and machine reboots, and an
+in-memory accumulator throws away every completed experiment when they
+do.  Production FI tools solve this with a durable result store (FAIL*'s
+experiment database; "Towards a Fault-Injection Benchmarking Suite"
+argues comparable campaigns need replayable stores rather than ad-hoc
+accumulation).  This module is that store.
+
+:class:`ExperimentJournal` wraps one SQLite database (stdlib
+``sqlite3``; no external dependency) holding any number of *campaigns*,
+each keyed by::
+
+    (program fingerprint, fault domain, campaign kind, parameters)
+
+so re-running the same campaign against the same binary resumes instead
+of restarting, while any change to the program, the domain, the sampler
+seed or the executor's timeout policy opens a fresh campaign.  Three
+result granularities match the three campaign styles:
+
+* ``class_results`` — one row per (class, bit) representative experiment
+  of a full scan, including ``end_cycle`` and ``trap`` so resumed runs
+  reconstruct :class:`~.experiment.ExperimentRecord` lists bit-for-bit;
+  sampled campaigns reuse the same table for their distinct-experiment
+  cache.
+* ``coordinate_results`` — one row per raw coordinate of a brute-force
+  scan, journaled atomically per injection slot.
+* ``sampler_state`` — the sampler's post-draw RNG position, so a resume
+  can *prove* the re-drawn sample sequence is the one the journal's
+  experiments belong to (a changed seed or sample count raises
+  :class:`JournalMismatchError` instead of silently mixing campaigns).
+
+Writes are transactional at the unit the campaign treats as atomic (one
+class, one slot, one shard): a crash between units loses at most the
+unit in flight, and a resumed campaign re-runs exactly the units the
+journal does not contain.  The contract — enforced by the differential
+tests in ``tests/campaign/test_resume.py`` — is that a resumed campaign
+produces a result *bit-for-bit identical* to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .outcomes import Outcome
+
+#: Bump when the schema changes incompatibly; mismatching journals are
+#: rejected instead of silently misread.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id          INTEGER PRIMARY KEY,
+    fingerprint TEXT NOT NULL,
+    domain      TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    params      TEXT NOT NULL,
+    cycles      INTEGER NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'running',
+    UNIQUE (fingerprint, domain, kind, params)
+);
+CREATE TABLE IF NOT EXISTS class_results (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    axis        INTEGER NOT NULL,
+    first_slot  INTEGER NOT NULL,
+    bit         INTEGER NOT NULL,
+    outcome     TEXT NOT NULL,
+    end_cycle   INTEGER NOT NULL DEFAULT 0,
+    trap        TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (campaign_id, axis, first_slot, bit)
+);
+CREATE TABLE IF NOT EXISTS coordinate_results (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    slot        INTEGER NOT NULL,
+    axis        INTEGER NOT NULL,
+    bit         INTEGER NOT NULL,
+    outcome     TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, slot, axis, bit)
+);
+CREATE TABLE IF NOT EXISTS sampler_state (
+    campaign_id INTEGER PRIMARY KEY REFERENCES campaigns(id),
+    draws       INTEGER NOT NULL,
+    rng_state   TEXT NOT NULL
+);
+"""
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable (wrong schema version, corrupt)."""
+
+
+class JournalMismatchError(JournalError):
+    """A resume does not match the journaled campaign.
+
+    Raised when the golden run's cycle count or the sampler's re-drawn
+    RNG position disagrees with what the journal recorded — continuing
+    would mix experiments from two different campaigns into one result.
+    """
+
+
+def canonical_params(params: Mapping) -> str:
+    """Deterministic JSON encoding of campaign parameters (the key)."""
+    return json.dumps(dict(params), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@dataclass
+class ExecutionReport:
+    """How a campaign actually executed: completeness and robustness.
+
+    Attached to campaign results (``result.execution``) so callers can
+    tell an exact, complete sweep from a resumed or degraded one.  The
+    field is excluded from result equality — a resumed campaign with the
+    *same outcomes* as an uninterrupted one compares equal even though
+    it took a different path to them.
+    """
+
+    #: Work units the campaign planned (live classes / distinct sampled
+    #: experiments / injection slots, depending on the style).
+    total_units: int = 0
+    #: Units executed fresh in this invocation.
+    executed: int = 0
+    #: Units loaded from the journal instead of re-executed.
+    resumed: int = 0
+    #: Experiments classified :data:`Outcome.TIMEOUT` by the wall-clock
+    #: shard guard rather than by the simulator's cycle budget.
+    synthesized_timeouts: int = 0
+    #: Shards whose wall-clock deadline expired (their experiments were
+    #: classified as timeouts instead of stalling the pool).
+    timed_out_shards: int = 0
+    #: Shard re-submissions after a worker process died.
+    shard_retries: int = 0
+    #: Shards abandoned after exhausting their retry budget.
+    failed_shards: int = 0
+    #: Class keys (or experiment keys) missing from the result because
+    #: their shard was abandoned; empty for a complete campaign.
+    missing: tuple = field(default_factory=tuple)
+
+    @property
+    def complete(self) -> bool:
+        """True when every planned unit produced a result."""
+        return not self.missing
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of planned units present in the result, in [0, 1]."""
+        if self.total_units <= 0:
+            return 1.0
+        return 1.0 - len(self.missing) / self.total_units
+
+
+class ExperimentJournal:
+    """One SQLite journal file holding any number of campaigns.
+
+    The journal is written by the campaign *driver* process only —
+    worker processes return results to the parent, which journals them —
+    so no cross-process SQLite coordination is needed.  A path-like
+    argument opens (creating if necessary) the database at that path;
+    ``":memory:"`` works for tests.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA busy_timeout = 5000")
+        self._conn.executescript(_SCHEMA)
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'") \
+            .fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)))
+            self._conn.commit()
+        elif int(row[0]) != SCHEMA_VERSION:
+            raise JournalError(
+                f"journal {self.path!r} has schema version {row[0]}, "
+                f"this build expects {SCHEMA_VERSION}")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExperimentJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- campaigns ------------------------------------------------------------
+
+    def campaign(self, *, fingerprint: str, domain: str, kind: str,
+                 params: Mapping, cycles: int) -> "CampaignJournal":
+        """Open (or create) the campaign with this identity key.
+
+        Raises :class:`JournalMismatchError` when a journaled campaign
+        with the same key was recorded against a different golden
+        runtime — same fingerprint but different Δt means the simulator
+        or program changed under the journal.
+        """
+        encoded = canonical_params(params)
+        row = self._conn.execute(
+            "SELECT id, cycles FROM campaigns WHERE fingerprint = ? AND "
+            "domain = ? AND kind = ? AND params = ?",
+            (fingerprint, domain, kind, encoded)).fetchone()
+        if row is not None:
+            campaign_id, stored_cycles = row
+            if stored_cycles != cycles:
+                raise JournalMismatchError(
+                    f"journaled campaign {kind!r} for {fingerprint} was "
+                    f"recorded at Δt={stored_cycles} cycles, but the "
+                    f"golden run now spans Δt={cycles}")
+            return CampaignJournal(self, campaign_id)
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (fingerprint, domain, kind, params, "
+            "cycles) VALUES (?, ?, ?, ?, ?)",
+            (fingerprint, domain, kind, encoded, cycles))
+        self._conn.commit()
+        return CampaignJournal(self, cursor.lastrowid)
+
+    def campaigns(self) -> list[dict]:
+        """All journaled campaigns with their progress counts."""
+        out = []
+        for row in self._conn.execute(
+                "SELECT id, fingerprint, domain, kind, params, cycles, "
+                "status FROM campaigns ORDER BY id"):
+            campaign_id = row[0]
+            classes = self._conn.execute(
+                "SELECT COUNT(*) FROM class_results WHERE campaign_id "
+                "= ?", (campaign_id,)).fetchone()[0]
+            coords = self._conn.execute(
+                "SELECT COUNT(*) FROM coordinate_results WHERE "
+                "campaign_id = ?", (campaign_id,)).fetchone()[0]
+            out.append({
+                "id": campaign_id,
+                "fingerprint": row[1],
+                "domain": row[2],
+                "kind": row[3],
+                "params": json.loads(row[4]),
+                "cycles": row[5],
+                "status": row[6],
+                "journaled_experiments": classes + coords,
+            })
+        return out
+
+
+class CampaignJournal:
+    """Handle bound to one campaign inside an :class:`ExperimentJournal`."""
+
+    def __init__(self, journal: ExperimentJournal, campaign_id: int):
+        self.journal = journal
+        self.campaign_id = campaign_id
+        self._conn = journal._conn
+
+    # -- status ---------------------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        return self._conn.execute(
+            "SELECT status FROM campaigns WHERE id = ?",
+            (self.campaign_id,)).fetchone()[0]
+
+    def mark_complete(self) -> None:
+        self._conn.execute(
+            "UPDATE campaigns SET status = 'complete' WHERE id = ?",
+            (self.campaign_id,))
+        self._conn.commit()
+
+    def clear(self) -> None:
+        """Discard every journaled result of this campaign (fresh start)."""
+        with self._conn:
+            for table in ("class_results", "coordinate_results",
+                          "sampler_state"):
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE campaign_id = ?",
+                    (self.campaign_id,))
+            self._conn.execute(
+                "UPDATE campaigns SET status = 'running' WHERE id = ?",
+                (self.campaign_id,))
+
+    # -- full-scan classes ----------------------------------------------------
+
+    def record_class(self, axis: int, first_slot: int,
+                     rows: Iterable[tuple[int, str, int, str]]) -> None:
+        """Journal one live class atomically.
+
+        ``rows`` holds ``(bit, outcome_value, end_cycle, trap)`` for each
+        of the class's representative experiments.  The transaction is
+        the crash-tolerance unit: a class is journaled entirely or not
+        at all, so resumes never see half a class.
+        """
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO class_results (campaign_id, "
+                "axis, first_slot, bit, outcome, end_cycle, trap) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(self.campaign_id, axis, first_slot, bit, outcome,
+                  end_cycle, trap)
+                 for bit, outcome, end_cycle, trap in rows])
+
+    def completed_classes(self) \
+            -> dict[tuple[int, int], list[tuple[int, Outcome, int, str]]]:
+        """Journaled classes: ``(axis, first_slot)`` → per-bit rows."""
+        out: dict[tuple[int, int], list] = {}
+        for axis, first_slot, bit, outcome, end_cycle, trap in \
+                self._conn.execute(
+                    "SELECT axis, first_slot, bit, outcome, end_cycle, "
+                    "trap FROM class_results WHERE campaign_id = ? "
+                    "ORDER BY axis, first_slot, bit",
+                    (self.campaign_id,)):
+            out.setdefault((axis, first_slot), []).append(
+                (bit, Outcome(outcome), end_cycle, trap))
+        return out
+
+    # -- sampled experiments --------------------------------------------------
+
+    def record_experiments(self, rows: Iterable[tuple[int, int, int,
+                                                      str]]) -> None:
+        """Journal distinct sampled experiments ``(axis, first_slot,
+        bit, outcome_value)`` in one transaction."""
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO class_results (campaign_id, "
+                "axis, first_slot, bit, outcome) VALUES (?, ?, ?, ?, ?)",
+                [(self.campaign_id, axis, first_slot, bit, outcome)
+                 for axis, first_slot, bit, outcome in rows])
+
+    def completed_experiments(self) \
+            -> dict[tuple[int, int, int], Outcome]:
+        """Journaled sampled experiments keyed ``(axis, first_slot, bit)``."""
+        return {
+            (axis, first_slot, bit): Outcome(outcome)
+            for axis, first_slot, bit, outcome in self._conn.execute(
+                "SELECT axis, first_slot, bit, outcome FROM "
+                "class_results WHERE campaign_id = ?",
+                (self.campaign_id,))
+        }
+
+    # -- brute-force slots ----------------------------------------------------
+
+    def record_slot(self, slot: int,
+                    rows: Iterable[tuple[int, int, str]]) -> None:
+        """Journal one injection slot of a brute-force scan atomically.
+
+        ``rows`` holds ``(axis, bit, outcome_value)`` for every raw
+        coordinate of the slot.
+        """
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO coordinate_results (campaign_id, "
+                "slot, axis, bit, outcome) VALUES (?, ?, ?, ?, ?)",
+                [(self.campaign_id, slot, axis, bit, outcome)
+                 for axis, bit, outcome in rows])
+
+    def completed_slots(self) -> dict[int, list[tuple[int, int, Outcome]]]:
+        """Journaled slots: slot → ``(axis, bit, outcome)`` in scan order."""
+        out: dict[int, list] = {}
+        for slot, axis, bit, outcome in self._conn.execute(
+                "SELECT slot, axis, bit, outcome FROM coordinate_results "
+                "WHERE campaign_id = ? ORDER BY slot, axis, bit",
+                (self.campaign_id,)):
+            out.setdefault(slot, []).append((axis, bit, Outcome(outcome)))
+        return out
+
+    # -- sampler RNG position -------------------------------------------------
+
+    def record_sampler_state(self, draws: int, rng_state: str) -> None:
+        """Journal the sampler's post-draw RNG position."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO sampler_state (campaign_id, "
+                "draws, rng_state) VALUES (?, ?, ?)",
+                (self.campaign_id, draws, rng_state))
+
+    def sampler_state(self) -> tuple[int, str] | None:
+        """The journaled ``(draws, rng_state)``, or None if unrecorded."""
+        row = self._conn.execute(
+            "SELECT draws, rng_state FROM sampler_state WHERE "
+            "campaign_id = ?", (self.campaign_id,)).fetchone()
+        return None if row is None else (row[0], row[1])
+
+    def verify_sampler_state(self, draws: int, rng_state: str) -> None:
+        """Check (or record) the sampler RNG position for exact resume.
+
+        On first run the position is journaled; on resume the re-drawn
+        position must match bit-for-bit, otherwise the journal belongs
+        to a different sample sequence and resuming would corrupt the
+        result.
+        """
+        stored = self.sampler_state()
+        if stored is None:
+            self.record_sampler_state(draws, rng_state)
+            return
+        if stored != (draws, rng_state):
+            raise JournalMismatchError(
+                f"sampler RNG position after {draws} draws does not "
+                f"match the journaled campaign (journal recorded "
+                f"{stored[0]} draws); the seed, sampler or sample count "
+                f"changed — use resume=False to restart")
+
+
+def open_campaign(journal, golden, domain, kind: str,
+                  params: Mapping) -> CampaignJournal | None:
+    """Resolve a ``journal=`` argument into a campaign handle.
+
+    Accepts ``None`` (journaling disabled), an :class:`ExperimentJournal`
+    or a path.  The campaign key combines the program's content
+    fingerprint, the fault domain, the campaign kind and its parameters.
+    """
+    if journal is None:
+        return None
+    # Imported lazily: database.py imports the runner module, which
+    # imports this one.
+    from .database import program_fingerprint
+
+    if not isinstance(journal, ExperimentJournal):
+        journal = ExperimentJournal(journal)
+    return journal.campaign(
+        fingerprint=program_fingerprint(golden.program),
+        domain=domain.name, kind=kind, params=params,
+        cycles=golden.cycles)

@@ -17,6 +17,17 @@ Three campaign styles are provided, each generic over a
 All three accept ``jobs=`` for multiprocess sharding and produce results
 bit-for-bit identical to their serial runs; see
 :mod:`repro.campaign.parallel`.
+
+All three also accept ``journal=`` (an
+:class:`~repro.campaign.journal.ExperimentJournal` or a path): completed
+work units are then appended durably as the campaign runs, and a rerun
+of the same campaign against the same journal *resumes*, skipping every
+journaled unit.  The contract is strict — a resumed campaign returns a
+result bit-for-bit identical to an uninterrupted one, including
+iteration order, record lists and sample sequences.  ``resume=False``
+clears the journaled campaign first.  ``result.execution`` reports how
+the campaign actually ran (units executed vs. resumed, shard retries,
+wall-clock timeouts, completeness).
 """
 
 from __future__ import annotations
@@ -35,9 +46,18 @@ from ..faultspace.sampling import (
 )
 from .experiment import ExperimentExecutor, ExperimentRecord
 from .golden import GoldenRun
+from .journal import ExecutionReport, open_campaign
 from .outcomes import Outcome
 
 ProgressCallback = Callable[[int, int], None]
+
+
+def _executor_params(executor: ExperimentExecutor) -> dict:
+    """The executor settings that affect outcomes — part of the journal
+    key, so a changed timeout policy opens a fresh campaign instead of
+    mixing incompatible classifications."""
+    return {"timeout_cycles": executor.timeout_cycles,
+            "early_stop": executor.early_stop}
 
 
 @dataclass
@@ -48,6 +68,12 @@ class CampaignResult:
     — byte address or register number, depending on the domain — to the
     per-bit outcomes of its representative experiments (8 for memory
     classes, 32 for register classes).
+
+    ``execution`` (excluded from equality) reports completeness: for a
+    degraded campaign — shards abandoned after exhausting their retry
+    budget — the missing classes are absent from ``class_outcomes`` and
+    listed in ``execution.missing``; the weighted counts then cover only
+    the completed part of the fault space.
     """
 
     golden: GoldenRun
@@ -55,6 +81,8 @@ class CampaignResult:
     class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]]
     records: list[ExperimentRecord] = field(default_factory=list)
     domain: FaultDomain = MEMORY
+    execution: ExecutionReport | None = field(default=None, compare=False,
+                                              repr=False)
 
     @property
     def fault_space(self):
@@ -87,12 +115,16 @@ class CampaignResult:
 
         Each live experiment result is weighted by its class's data
         lifetime; dead classes contribute their full weight as
-        "No Effect".  Counts sum to the fault-space size ``w``.
+        "No Effect".  Counts sum to the fault-space size ``w`` for a
+        complete campaign; a degraded campaign (``execution.missing``
+        non-empty) covers correspondingly less.
         """
         counts: Counter = Counter()
         for interval in self.partition.live_classes():
-            outcomes = self.class_outcomes[self.domain.class_key(interval)]
-            for outcome in outcomes:
+            key = self.domain.class_key(interval)
+            if key not in self.class_outcomes:
+                continue  # degraded: shard abandoned, class missing
+            for outcome in self.class_outcomes[key]:
                 counts[outcome] += interval.length
         counts[Outcome.NO_EFFECT] += self.partition.known_no_effect_weight
         return counts
@@ -121,14 +153,15 @@ class CampaignResult:
         """Live classes paired with their per-bit outcomes."""
         out = []
         for interval in self.partition.live_classes():
-            out.append((interval,
-                        self.class_outcomes[self.domain.class_key(interval)]))
+            key = self.domain.class_key(interval)
+            if key in self.class_outcomes:
+                out.append((interval, self.class_outcomes[key]))
         return out
 
 
 def _parallel_campaign(golden: GoldenRun, jobs: int,
                        executor: ExperimentExecutor | None,
-                       domain: FaultDomain):
+                       domain: FaultDomain, policy):
     """Build the parallel driver for a runner-level ``jobs`` request."""
     from .parallel import ParallelCampaign
 
@@ -136,7 +169,7 @@ def _parallel_campaign(golden: GoldenRun, jobs: int,
         raise ValueError(
             "an explicit executor cannot be shared across worker "
             "processes; drop the executor argument or run with jobs=None")
-    return ParallelCampaign(golden, jobs, domain=domain)
+    return ParallelCampaign(golden, jobs, domain=domain, policy=policy)
 
 
 def run_full_scan(golden: GoldenRun, *,
@@ -145,7 +178,10 @@ def run_full_scan(golden: GoldenRun, *,
                   keep_records: bool = False,
                   progress: ProgressCallback | None = None,
                   jobs: int | None = None,
-                  domain: FaultDomain | str = MEMORY) -> CampaignResult:
+                  domain: FaultDomain | str = MEMORY,
+                  journal=None,
+                  resume: bool = True,
+                  policy=None) -> CampaignResult:
     """Def/use-pruned full fault-space scan (exact, no sampling error).
 
     ``jobs`` selects the execution engine: ``None`` (default) runs
@@ -153,31 +189,67 @@ def run_full_scan(golden: GoldenRun, *,
     positive count that many workers.  ``domain`` selects the fault
     model (``"memory"`` or ``"register"``).  Results are identical for
     every engine choice.
+
+    ``journal`` enables durable per-class result journaling and resume
+    (see the module docstring); ``policy`` is a
+    :class:`~repro.campaign.parallel.RetryPolicy` for the parallel
+    engine's timeout/retry behaviour (ignored when serial).
     """
     domain = get_domain(domain)
     if jobs is not None:
-        return _parallel_campaign(golden, jobs, executor,
-                                  domain).run_full_scan(
+        return _parallel_campaign(golden, jobs, executor, domain,
+                                  policy).run_full_scan(
             partition=partition, keep_records=keep_records,
-            progress=progress)
+            progress=progress, journal=journal, resume=resume)
     if partition is None:
         partition = domain.build_partition(golden)
     if executor is None:
         executor = ExperimentExecutor(golden, domain=domain)
+    handle = open_campaign(journal, golden, domain, "full-scan",
+                           _executor_params(executor))
+    completed = {}
+    if handle is not None:
+        if not resume:
+            handle.clear()
+        completed = handle.completed_classes()
     live = partition.live_classes()  # sorted by injection slot
+    report = ExecutionReport(total_units=len(live))
     class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
     records: list[ExperimentRecord] = []
     for done, interval in enumerate(live):
-        results = [executor.run(coord) for coord in interval.experiments()]
-        class_outcomes[domain.class_key(interval)] = tuple(
-            record.outcome for record in results)
-        if keep_records:
-            records.extend(results)
+        key = domain.class_key(interval)
+        if key in completed:
+            rows = completed[key]
+            class_outcomes[key] = tuple(outcome for _, outcome, _, _
+                                        in rows)
+            if keep_records:
+                coords = interval.experiments()
+                records.extend(
+                    ExperimentRecord(coordinate=coords[bit],
+                                     outcome=outcome, end_cycle=end_cycle,
+                                     trap=trap)
+                    for bit, outcome, end_cycle, trap in rows)
+            report.resumed += 1
+        else:
+            results = [executor.run(coord)
+                       for coord in interval.experiments()]
+            class_outcomes[key] = tuple(
+                record.outcome for record in results)
+            if keep_records:
+                records.extend(results)
+            if handle is not None:
+                handle.record_class(
+                    key[0], key[1],
+                    [(bit, record.outcome.value, record.end_cycle,
+                      record.trap) for bit, record in enumerate(results)])
+            report.executed += 1
         if progress is not None:
             progress(done + 1, len(live))
+    if handle is not None:
+        handle.mark_complete()
     return CampaignResult(golden=golden, partition=partition,
                           class_outcomes=class_outcomes, records=records,
-                          domain=domain)
+                          domain=domain, execution=report)
 
 
 @dataclass
@@ -187,6 +259,8 @@ class BruteForceResult:
     golden: GoldenRun
     outcomes: dict
     domain: FaultDomain = MEMORY
+    execution: ExecutionReport | None = field(default=None, compare=False,
+                                              repr=False)
 
     def counts(self) -> Counter:
         return Counter(self.outcomes.values())
@@ -198,26 +272,59 @@ class BruteForceResult:
 
 def run_brute_force(golden: GoldenRun, *,
                     executor: ExperimentExecutor | None = None,
+                    progress: ProgressCallback | None = None,
                     jobs: int | None = None,
-                    domain: FaultDomain | str = MEMORY) -> BruteForceResult:
+                    domain: FaultDomain | str = MEMORY,
+                    journal=None,
+                    resume: bool = True,
+                    policy=None) -> BruteForceResult:
     """Run one experiment for *every* fault-space coordinate.
 
     Only feasible for tiny programs; used by tests and examples to prove
     that def/use pruning plus weighting reproduces these numbers exactly.
-    ``jobs`` and ``domain`` behave as in :func:`run_full_scan`.
+    ``jobs``, ``domain``, ``journal`` and ``resume`` behave as in
+    :func:`run_full_scan`; ``progress`` is called per completed
+    injection slot.  The journal's atomic unit is one injection slot.
     """
     domain = get_domain(domain)
     if jobs is not None:
-        return _parallel_campaign(golden, jobs, executor,
-                                  domain).run_brute_force()
+        return _parallel_campaign(golden, jobs, executor, domain,
+                                  policy).run_brute_force(
+            progress=progress, journal=journal, resume=resume)
     if executor is None:
         executor = ExperimentExecutor(golden, domain=domain)
+    handle = open_campaign(journal, golden, domain, "brute-force",
+                           _executor_params(executor))
+    completed = {}
+    if handle is not None:
+        if not resume:
+            handle.clear()
+        completed = handle.completed_slots()
     space = domain.fault_space(golden)
+    report = ExecutionReport(total_units=golden.cycles)
     outcomes: dict = {}
     # Iterate slot-major so the executor's fast-forward engages.
-    for coord in space.iter_coordinates():
-        outcomes[coord] = executor.run(coord).outcome
-    return BruteForceResult(golden=golden, outcomes=outcomes, domain=domain)
+    for slot in range(1, golden.cycles + 1):
+        if slot in completed:
+            for axis, bit, outcome in completed[slot]:
+                outcomes[domain.coordinate(slot, axis, bit)] = outcome
+            report.resumed += 1
+        else:
+            rows = []
+            for coord in domain.slot_coordinates(space, slot):
+                outcome = executor.run(coord).outcome
+                outcomes[coord] = outcome
+                rows.append((domain.coordinate_axis(coord), coord.bit,
+                             outcome.value))
+            if handle is not None:
+                handle.record_slot(slot, rows)
+            report.executed += 1
+        if progress is not None:
+            progress(slot, golden.cycles)
+    if handle is not None:
+        handle.mark_complete()
+    return BruteForceResult(golden=golden, outcomes=outcomes,
+                            domain=domain, execution=report)
 
 
 @dataclass
@@ -242,6 +349,8 @@ class SamplingResult:
     experiments_conducted: int
     sampler: str
     domain: FaultDomain = MEMORY
+    execution: ExecutionReport | None = field(default=None, compare=False,
+                                              repr=False)
 
     @property
     def n_samples(self) -> int:
@@ -260,32 +369,34 @@ SAMPLERS = ("uniform", "live-only", "biased-class")
 
 def _draw_classified(golden: GoldenRun, n_samples: int, seed: int,
                      sampler: str, partition,
-                     domain: FaultDomain) -> tuple[list[Sample], int]:
+                     domain: FaultDomain) -> tuple[list[Sample], int, str]:
     """Draw and classify samples; shared by the serial and parallel paths.
 
-    Returns the drawn samples (original order) and the population size
-    the estimate must extrapolate against.
+    Returns the drawn samples (original order), the population size the
+    estimate must extrapolate against, and the sampler's post-draw RNG
+    position (JSON) — the experiment journal stores the position so a
+    resume can verify it re-drew exactly the journaled sequence.
     """
     if n_samples <= 0:
         raise ValueError("n_samples must be positive")
     if sampler == "uniform":
-        drawn = UniformSampler(domain.fault_space(golden), seed=seed,
-                               domain=domain) \
-            .draw_classified(n_samples, partition)
+        instance = UniformSampler(domain.fault_space(golden), seed=seed,
+                                  domain=domain)
+        drawn = instance.draw_classified(n_samples, partition)
         population = domain.fault_space(golden).size
     elif sampler == "live-only":
-        live_sampler = LiveOnlySampler(partition, seed=seed, domain=domain)
-        drawn = live_sampler.draw_classified(n_samples)
-        population = live_sampler.population
+        instance = LiveOnlySampler(partition, seed=seed, domain=domain)
+        drawn = instance.draw_classified(n_samples)
+        population = instance.population
     elif sampler == "biased-class":
-        drawn = BiasedClassSampler(partition, seed=seed, domain=domain) \
-            .draw_classified(n_samples)
+        instance = BiasedClassSampler(partition, seed=seed, domain=domain)
+        drawn = instance.draw_classified(n_samples)
         # The biased sampler has no meaningful population; report w so the
         # demonstration can show how wrong its extrapolation is.
         population = domain.fault_space(golden).size
     else:
         raise ValueError(f"unknown sampler {sampler!r}; pick from {SAMPLERS}")
-    return drawn, population
+    return drawn, population, instance.rng_state()
 
 
 def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
@@ -294,27 +405,45 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                  executor: ExperimentExecutor | None = None,
                  progress: ProgressCallback | None = None,
                  jobs: int | None = None,
-                 domain: FaultDomain | str = MEMORY) -> SamplingResult:
+                 domain: FaultDomain | str = MEMORY,
+                 journal=None,
+                 resume: bool = True,
+                 policy=None) -> SamplingResult:
     """Run a sampled campaign with def/use-pruned experiment sharing.
 
-    ``progress`` is called after each *conducted* experiment with
-    ``(done, total)`` over the distinct (class, bit) experiment keys the
-    drawn samples require.  ``jobs`` and ``domain`` behave as in
-    :func:`run_full_scan`.
+    ``progress`` is called as each distinct (class, bit) experiment key
+    the drawn samples require is resolved — executed fresh or loaded
+    from the journal — with ``(done, total)`` over those keys.  ``jobs``,
+    ``domain``, ``journal`` and ``resume`` behave as in
+    :func:`run_full_scan`.  The journal additionally records the
+    sampler's RNG position: resuming with a different seed, sampler or
+    sample count raises
+    :class:`~repro.campaign.journal.JournalMismatchError`.
     """
     domain = get_domain(domain)
     if jobs is not None:
-        return _parallel_campaign(golden, jobs, executor,
-                                  domain).run_sampling(
+        return _parallel_campaign(golden, jobs, executor, domain,
+                                  policy).run_sampling(
             n_samples, seed=seed, sampler=sampler, partition=partition,
-            progress=progress)
+            progress=progress, journal=journal, resume=resume)
     if partition is None:
         partition = domain.build_partition(golden)
     if executor is None:
         executor = ExperimentExecutor(golden, domain=domain)
 
-    drawn, population = _draw_classified(golden, n_samples, seed, sampler,
-                                         partition, domain)
+    handle = open_campaign(
+        journal, golden, domain, "sampling",
+        dict(_executor_params(executor), seed=seed, sampler=sampler,
+             n_samples=n_samples))
+    if handle is not None and not resume:
+        handle.clear()
+
+    drawn, population, rng_state = _draw_classified(
+        golden, n_samples, seed, sampler, partition, domain)
+    journaled: dict[tuple[int, int, int], Outcome] = {}
+    if handle is not None:
+        handle.verify_sampler_state(len(drawn), rng_state)
+        journaled = handle.completed_experiments()
 
     # One experiment per distinct (class, bit); dead classes need none.
     total_experiments = 0
@@ -325,7 +454,7 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                 (s, partition.locate(s.coordinate)) for s in drawn
                 if s.class_kind == LIVE)})
     cache: dict[tuple[int, int, int], Outcome] = {}
-    experiments = 0
+    report = ExecutionReport()
     results: list[tuple[Sample, Outcome]] = []
     # Execute in ascending slot order for snapshot reuse, then restore the
     # original sample order (it is irrelevant for counting, but callers
@@ -341,16 +470,26 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
         interval = partition.locate(sample.coordinate)
         key = domain.class_key(interval) + (sample.coordinate.bit,)
         if key not in cache:
-            representative = domain.coordinate(
-                interval.injection_slot, domain.axis_of(interval),
-                sample.coordinate.bit)
-            cache[key] = executor.run(representative).outcome
-            experiments += 1
+            if key in journaled:
+                cache[key] = journaled[key]
+                report.resumed += 1
+            else:
+                representative = domain.coordinate(
+                    interval.injection_slot, domain.axis_of(interval),
+                    sample.coordinate.bit)
+                cache[key] = executor.run(representative).outcome
+                if handle is not None:
+                    handle.record_experiments(
+                        [(key[0], key[1], key[2], cache[key].value)])
+                report.executed += 1
             if progress is not None:
-                progress(experiments, total_experiments)
+                progress(len(cache), total_experiments)
         outcome_by_index[i] = cache[key]
+    report.total_units = len(cache)
+    if handle is not None:
+        handle.mark_complete()
     results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]
     return SamplingResult(golden=golden, partition=partition,
                           samples=results, population=population,
-                          experiments_conducted=experiments, sampler=sampler,
-                          domain=domain)
+                          experiments_conducted=len(cache), sampler=sampler,
+                          domain=domain, execution=report)

@@ -4,14 +4,22 @@ Commands:
 
 ``table1``
     Print the Poisson fault-count table (Table I).
-``scan <program> [--domain D] [--jobs N] [--samples N]``
+``scan <program> [--domain D] [--jobs N] [--samples N] [--journal P]``
     Run a def/use-pruned full fault-space scan of a registered program
     and print its outcome histogram, coverage and failure count; with
     ``--samples`` run a sampled campaign instead.  ``--domain`` picks
     the fault model (memory bits by default, ``register`` for the
     Section VI-B register file).  ``--jobs`` shards the campaign over
     worker processes (0 = one per CPU) and a live progress/ETA line is
-    printed to stderr.
+    printed to stderr.  ``--journal PATH`` journals every completed
+    work unit to a SQLite file: an interrupted scan rerun against the
+    same journal resumes where it left off (``--fresh`` discards the
+    journaled campaign first).  ``--shard-timeout`` / ``--max-retries``
+    tune the parallel engine's robustness policy.
+``resume --journal PATH [<program>]``
+    Without a program: list the campaigns the journal holds and their
+    progress.  With a program: continue its journaled campaign — the
+    same as rerunning ``scan`` with the same arguments and journal.
 ``fig3``
     Run the Section IV dilution experiment and print the table.
 ``fig2 [--rounds N] [--items N]``
@@ -31,6 +39,7 @@ import sys
 import time
 
 from .analysis import (
+    completeness_report,
     fig2_data,
     fig2_report,
     fig3_report,
@@ -41,6 +50,8 @@ from .analysis import (
 )
 from .campaign import (
     CampaignSummary,
+    ExperimentJournal,
+    RetryPolicy,
     record_golden,
     run_full_scan,
     run_sampling,
@@ -109,18 +120,41 @@ def cmd_render(args) -> None:
                              max_bytes=args.max_bytes))
 
 
+def _scan_policy(args) -> RetryPolicy | None:
+    """A parallel-engine policy when any robustness flag was given."""
+    overrides = {}
+    if getattr(args, "shard_timeout", None) is not None:
+        overrides["shard_timeout"] = args.shard_timeout
+    if getattr(args, "max_retries", None) is not None:
+        overrides["max_retries"] = args.max_retries
+    return RetryPolicy(**overrides) if overrides else None
+
+
+def _print_execution(execution) -> None:
+    """Print the completeness report when there is anything to say."""
+    if execution is None:
+        return
+    if (execution.resumed or execution.timed_out_shards
+            or execution.shard_retries or not execution.complete):
+        print(completeness_report(execution))
+
+
 def cmd_scan(args) -> None:
     program = _resolve(args.program)
     domain = get_domain(args.domain)
     golden = record_golden(program)
     space = domain.fault_space(golden)
+    resume = not getattr(args, "fresh", False)
+    policy = _scan_policy(args)
     print(f"{program.name} [{domain.name} domain]: "
           f"Δt={golden.cycles} cycles, w={space.size}")
     if args.samples:
         result = run_sampling(golden, args.samples, seed=args.seed,
                               sampler=args.sampler, jobs=args.jobs,
-                              domain=domain,
+                              domain=domain, journal=args.journal,
+                              resume=resume, policy=policy,
                               progress=_eta_progress("experiments"))
+        _print_execution(result.execution)
         scale = result.population / result.n_samples
         print(f"sampled {result.n_samples} faults "
               f"({result.experiments_conducted} experiments conducted, "
@@ -133,11 +167,33 @@ def cmd_scan(args) -> None:
               f"{result.failure_count() * scale:.0f}")
         return
     scan = run_full_scan(golden, jobs=args.jobs, domain=domain,
+                         journal=args.journal, resume=resume,
+                         policy=policy,
                          progress=_eta_progress("classes"))
+    _print_execution(scan.execution)
     print(outcome_histogram(scan))
     print(f"\nweighted coverage: {100 * weighted_coverage(scan):.2f}%")
     print(f"absolute failure count F: "
           f"{weighted_failure_count(scan).total:.0f}")
+
+
+def cmd_resume(args) -> None:
+    if args.program is None:
+        with ExperimentJournal(args.journal) as journal:
+            campaigns = journal.campaigns()
+        if not campaigns:
+            print(f"journal {args.journal}: no campaigns")
+            return
+        print(f"journal {args.journal}: {len(campaigns)} campaign(s)")
+        for entry in campaigns:
+            print(f"  #{entry['id']} {entry['kind']:11s} "
+                  f"[{entry['domain']} domain] {entry['status']:8s} "
+                  f"{entry['journaled_experiments']:8d} experiments "
+                  f"journaled  fingerprint={entry['fingerprint'][:12]}")
+        return
+    # With a program the command is a journaled scan that must resume.
+    args.fresh = False
+    cmd_scan(args)
 
 
 def cmd_fig3(_args) -> None:
@@ -192,22 +248,49 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--max-bytes", type=int, default=8)
     render.set_defaults(func=cmd_render)
 
+    def add_campaign_args(cmd, *, journal_required: bool) -> None:
+        cmd.add_argument("--domain", choices=sorted(DOMAINS),
+                         default="memory",
+                         help="fault model to scan (default: memory)")
+        cmd.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
+                         help="worker processes (0 = one per CPU; "
+                              "default: serial)")
+        cmd.add_argument("--samples", type=int, default=0,
+                         help="run a sampled campaign of N faults instead "
+                              "of the full scan")
+        cmd.add_argument("--seed", type=int, default=0,
+                         help="sampling RNG seed")
+        cmd.add_argument("--sampler", choices=SAMPLERS, default="uniform",
+                         help="sampling strategy (with --samples)")
+        cmd.add_argument("--journal", metavar="PATH",
+                         required=journal_required, default=None,
+                         help="SQLite experiment journal: completed work "
+                              "units are recorded durably and a rerun "
+                              "resumes instead of restarting")
+        cmd.add_argument("--shard-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock deadline per parallel shard "
+                              "(default: derived from the golden run's "
+                              "cycle count)")
+        cmd.add_argument("--max-retries", type=int, default=None,
+                         metavar="N",
+                         help="resubmissions per shard after a worker "
+                              "death before degrading to a partial "
+                              "result (default: 2)")
+
     scan = sub.add_parser("scan", help="full fault-space scan")
     scan.add_argument("program")
-    scan.add_argument("--domain", choices=sorted(DOMAINS),
-                      default="memory",
-                      help="fault model to scan (default: memory)")
-    scan.add_argument("--jobs", "-j", type=_jobs_arg, default=None,
-                      help="worker processes (0 = one per CPU; "
-                           "default: serial)")
-    scan.add_argument("--samples", type=int, default=0,
-                      help="run a sampled campaign of N faults instead "
-                           "of the full scan")
-    scan.add_argument("--seed", type=int, default=0,
-                      help="sampling RNG seed")
-    scan.add_argument("--sampler", choices=SAMPLERS, default="uniform",
-                      help="sampling strategy (with --samples)")
+    add_campaign_args(scan, journal_required=False)
+    scan.add_argument("--fresh", action="store_true",
+                      help="discard the journaled campaign and restart "
+                           "(with --journal)")
     scan.set_defaults(func=cmd_scan)
+
+    resume = sub.add_parser(
+        "resume", help="list or continue journaled campaigns")
+    resume.add_argument("program", nargs="?", default=None)
+    add_campaign_args(resume, journal_required=True)
+    resume.set_defaults(func=cmd_resume)
 
     sub.add_parser("fig3", help="Section IV dilution table").set_defaults(
         func=cmd_fig3)

@@ -25,6 +25,7 @@ from .sampling import (
     BiasedClassSampler,
     LiveOnlySampler,
     Sample,
+    SeededSampler,
     UniformSampler,
 )
 
@@ -54,5 +55,6 @@ __all__ = [
     "Region",
     "RegionMap",
     "Sample",
+    "SeededSampler",
     "UniformSampler",
 ]

@@ -19,16 +19,47 @@ All three are deterministic given a seed and work for any registered
 :class:`~repro.faultspace.domain.FaultDomain` — the domain supplies the
 coordinate factory, the spatial-axis accessor and the per-class bit
 width, so memory and register campaigns share one sampling stack.
+
+Every sampler also exposes its RNG *position* (:meth:`SeededSampler.\
+rng_state` / :meth:`SeededSampler.set_rng_state`) as a JSON string.  The
+experiment journal records the post-draw position so that a resumed
+campaign can re-draw from the seed and *verify* it reproduced exactly
+the sample sequence the journaled experiments belong to — a changed
+seed, sampler or sample count is detected instead of silently mixing
+two campaigns.
 """
 
 from __future__ import annotations
 
 import bisect
+import json
 import random
 from dataclasses import dataclass
 
 from .defuse import LIVE
 from .domain import FaultDomain, MEMORY, get_domain
+
+
+class SeededSampler:
+    """Base for deterministic samplers: seeded RNG with journalable state.
+
+    ``random.Random`` state is a nested tuple of ints; it is encoded to
+    JSON (tuples become lists) so the experiment journal can store it as
+    text, and decoded back on restore.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def rng_state(self) -> str:
+        """The RNG position as a deterministic JSON string."""
+        version, internal, gauss_next = self._rng.getstate()
+        return json.dumps([version, list(internal), gauss_next])
+
+    def set_rng_state(self, state: str) -> None:
+        """Restore an RNG position captured by :meth:`rng_state`."""
+        version, internal, gauss_next = json.loads(state)
+        self._rng.setstate((version, tuple(internal), gauss_next))
 
 
 @dataclass(frozen=True)
@@ -51,14 +82,14 @@ class Sample:
         return (self.addr, self.class_first_slot)
 
 
-class UniformSampler:
+class UniformSampler(SeededSampler):
     """Uniform sampling (with replacement) from the raw fault space."""
 
     def __init__(self, fault_space, *, seed: int = 0,
                  domain: FaultDomain | str = MEMORY):
+        super().__init__(seed)
         self.fault_space = fault_space
         self.domain = get_domain(domain)
-        self._rng = random.Random(seed)
 
     def draw(self, count: int) -> list:
         """Draw ``count`` coordinates uniformly from the raw space."""
@@ -83,7 +114,7 @@ class UniformSampler:
         return samples
 
 
-class LiveOnlySampler:
+class LiveOnlySampler(SeededSampler):
     """Uniform sampling restricted to the live part of the fault space.
 
     Implements the refinement of Pitfall 3, Corollary 1: since "No
@@ -95,9 +126,9 @@ class LiveOnlySampler:
 
     def __init__(self, partition, *, seed: int = 0,
                  domain: FaultDomain | str = MEMORY):
+        super().__init__(seed)
         self.partition = partition
         self.domain = get_domain(domain)
-        self._rng = random.Random(seed)
         self._live = partition.live_classes()
         # Cumulative weights over live classes enable O(log n) draws.
         self._cumulative: list[int] = []
@@ -133,7 +164,7 @@ class LiveOnlySampler:
         return samples
 
 
-class BiasedClassSampler:
+class BiasedClassSampler(SeededSampler):
     """The Pitfall 2 anti-pattern: uniform over *classes*, not coordinates.
 
     Each draw picks a live equivalence class uniformly at random
@@ -145,9 +176,9 @@ class BiasedClassSampler:
 
     def __init__(self, partition, *, seed: int = 0,
                  domain: FaultDomain | str = MEMORY):
+        super().__init__(seed)
         self.partition = partition
         self.domain = get_domain(domain)
-        self._rng = random.Random(seed)
         self._live = partition.live_classes()
         if not self._live:
             raise ValueError("no live classes to sample from")

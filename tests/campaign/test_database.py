@@ -7,6 +7,7 @@ import pytest
 from repro.campaign import (
     CampaignCache,
     CampaignSummary,
+    Outcome,
     export_class_results_csv,
     import_class_results_csv,
     program_fingerprint,
@@ -143,3 +144,69 @@ class TestCsvExport:
             assert row["addr"] == interval.reg
             assert len(row["outcomes"]) == 32
             assert row["outcomes"] == outcomes
+
+    def test_reexport_is_byte_identical(self, tmp_path, hi_scan,
+                                        hi_register_scan):
+        """import → export must reproduce the file byte for byte, for
+        both the 8-bit memory and 32-bit register column layouts."""
+        from repro.campaign import export_class_rows_csv
+
+        for name, scan in (("mem", hi_scan), ("reg", hi_register_scan)):
+            original = tmp_path / f"{name}.csv"
+            copy = tmp_path / f"{name}-copy.csv"
+            export_class_results_csv(scan, original)
+            export_class_rows_csv(import_class_results_csv(original), copy)
+            assert copy.read_bytes() == original.read_bytes()
+
+    def test_import_orders_bit_columns_numerically(self, tmp_path):
+        """bit10 must sort after bit2 — a lexicographic sort would
+        silently permute register outcomes."""
+        path = tmp_path / "shuffled.csv"
+        bits = 12
+        header = ["addr", "first_slot", "last_slot", "length"] + [
+            f"bit{b}" for b in reversed(range(bits))]
+        values = ["5", "1", "4", "4"] + ["sdc"] * (bits - 1) + [
+            "no-effect"]  # no-effect lands in the bit0 column
+        path.write_text(",".join(header) + "\r\n"
+                        + ",".join(values) + "\r\n")
+        rows = import_class_results_csv(path)
+        assert rows[0]["outcomes"][0] == Outcome.NO_EFFECT
+        assert all(o == Outcome.SDC for o in rows[0]["outcomes"][1:])
+
+    def test_import_tolerates_whitespace_in_numbers(self, tmp_path):
+        path = tmp_path / "spaced.csv"
+        path.write_text("addr,first_slot,last_slot,length,bit0\r\n"
+                        " 3 , 1 , 2 , 2 ,no-effect\r\n")
+        rows = import_class_results_csv(path)
+        assert rows[0] == {"addr": 3, "first_slot": 1, "last_slot": 2,
+                           "length": 2,
+                           "outcomes": (Outcome.NO_EFFECT,)}
+
+    def test_import_rejects_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("addr,first_slot,bit0\r\n1,2,sdc\r\n")
+        with pytest.raises(ValueError, match="missing column"):
+            import_class_results_csv(path)
+
+    def test_import_rejects_gappy_bit_columns(self, tmp_path):
+        path = tmp_path / "gappy.csv"
+        path.write_text("addr,first_slot,last_slot,length,bit0,bit2\r\n"
+                        "1,1,1,1,sdc,sdc\r\n")
+        with pytest.raises(ValueError, match="not contiguous"):
+            import_class_results_csv(path)
+
+    def test_import_reports_malformed_rows_with_line_numbers(
+            self, tmp_path):
+        path = tmp_path / "corrupt.csv"
+        path.write_text("addr,first_slot,last_slot,length,bit0\r\n"
+                        "1,1,1,1,no-effect\r\n"
+                        "2,1,1,one,sdc\r\n")
+        with pytest.raises(ValueError, match="line 3"):
+            import_class_results_csv(path)
+
+    def test_import_rejects_unknown_outcome_values(self, tmp_path):
+        path = tmp_path / "unknown.csv"
+        path.write_text("addr,first_slot,last_slot,length,bit0\r\n"
+                        "1,1,1,1,exploded\r\n")
+        with pytest.raises(ValueError, match="line 2"):
+            import_class_results_csv(path)

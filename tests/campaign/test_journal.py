@@ -1,0 +1,171 @@
+"""Unit tests for the durable experiment journal."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import (
+    ExecutionReport,
+    ExperimentJournal,
+    JournalError,
+    JournalMismatchError,
+    Outcome,
+    record_golden,
+)
+from repro.campaign.journal import canonical_params, open_campaign
+from repro.faultspace import MEMORY, REGISTER
+from repro.programs import micro
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return record_golden(micro.counter(2))
+
+
+@pytest.fixture()
+def journal(tmp_path):
+    with ExperimentJournal(tmp_path / "journal.sqlite") as handle:
+        yield handle
+
+
+def _campaign(journal, **overrides):
+    spec = dict(fingerprint="abc123", domain="memory", kind="full-scan",
+                params={"timeout_cycles": 100, "early_stop": True},
+                cycles=42)
+    spec.update(overrides)
+    return journal.campaign(**spec)
+
+
+class TestJournalFile:
+    def test_same_key_reopens_same_campaign(self, journal):
+        first = _campaign(journal)
+        second = _campaign(journal)
+        assert first.campaign_id == second.campaign_id
+
+    def test_key_components_separate_campaigns(self, journal):
+        base = _campaign(journal)
+        assert _campaign(journal, fingerprint="other").campaign_id \
+            != base.campaign_id
+        assert _campaign(journal, domain="register").campaign_id \
+            != base.campaign_id
+        assert _campaign(journal, kind="sampling").campaign_id \
+            != base.campaign_id
+        assert _campaign(journal, params={"timeout_cycles": 999,
+                                          "early_stop": True}).campaign_id \
+            != base.campaign_id
+
+    def test_changed_cycles_is_a_mismatch(self, journal):
+        _campaign(journal, cycles=42)
+        with pytest.raises(JournalMismatchError, match="Δt"):
+            _campaign(journal, cycles=43)
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        ExperimentJournal(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '999' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalError, match="schema version"):
+            ExperimentJournal(path)
+
+    def test_campaigns_listing_counts_progress(self, journal):
+        campaign = _campaign(journal)
+        campaign.record_class(3, 7, [(0, "sdc", 10, ""),
+                                     (1, "no-effect", 12, "")])
+        listing = journal.campaigns()
+        assert len(listing) == 1
+        assert listing[0]["kind"] == "full-scan"
+        assert listing[0]["status"] == "running"
+        assert listing[0]["journaled_experiments"] == 2
+
+    def test_canonical_params_is_order_insensitive(self):
+        assert canonical_params({"a": 1, "b": 2}) \
+            == canonical_params({"b": 2, "a": 1})
+
+
+class TestCampaignJournal:
+    def test_class_rows_round_trip(self, journal):
+        campaign = _campaign(journal)
+        campaign.record_class(5, 2, [(0, "sdc", 30, ""),
+                                     (1, "cpu-exception", 31, "BUS")])
+        stored = campaign.completed_classes()
+        assert stored == {(5, 2): [(0, Outcome.SDC, 30, ""),
+                                   (1, Outcome.CPU_EXCEPTION, 31, "BUS")]}
+
+    def test_slot_rows_round_trip(self, journal):
+        campaign = _campaign(journal, kind="brute-force")
+        campaign.record_slot(4, [(0, 0, "no-effect"), (0, 1, "sdc")])
+        assert campaign.completed_slots() == {
+            4: [(0, 0, Outcome.NO_EFFECT), (0, 1, Outcome.SDC)]}
+
+    def test_experiment_rows_round_trip(self, journal):
+        campaign = _campaign(journal, kind="sampling")
+        campaign.record_experiments([(2, 9, 3, "timeout")])
+        assert campaign.completed_experiments() == {
+            (2, 9, 3): Outcome.TIMEOUT}
+
+    def test_clear_discards_results_and_state(self, journal):
+        campaign = _campaign(journal)
+        campaign.record_class(1, 1, [(0, "sdc", 5, "")])
+        campaign.record_sampler_state(10, "[3,[1,2],null]")
+        campaign.mark_complete()
+        campaign.clear()
+        assert campaign.completed_classes() == {}
+        assert campaign.sampler_state() is None
+        assert campaign.status == "running"
+
+    def test_mark_complete_sets_status(self, journal):
+        campaign = _campaign(journal)
+        assert campaign.status == "running"
+        campaign.mark_complete()
+        assert campaign.status == "complete"
+
+    def test_sampler_state_verified_on_resume(self, journal):
+        campaign = _campaign(journal, kind="sampling")
+        campaign.verify_sampler_state(10, "[3,[1,2],null]")  # records
+        campaign.verify_sampler_state(10, "[3,[1,2],null]")  # matches
+        with pytest.raises(JournalMismatchError, match="seed, sampler"):
+            campaign.verify_sampler_state(10, "[3,[9,9],null]")
+        with pytest.raises(JournalMismatchError):
+            campaign.verify_sampler_state(11, "[3,[1,2],null]")
+
+
+class TestOpenCampaign:
+    def test_none_disables_journaling(self, golden):
+        assert open_campaign(None, golden, MEMORY, "full-scan", {}) is None
+
+    def test_path_and_instance_open_the_same_campaign(self, golden,
+                                                      tmp_path):
+        path = tmp_path / "j.sqlite"
+        by_path = open_campaign(path, golden, MEMORY, "full-scan", {})
+        with ExperimentJournal(path) as journal:
+            by_instance = open_campaign(journal, golden, MEMORY,
+                                        "full-scan", {})
+            assert by_instance.campaign_id == by_path.campaign_id
+
+    def test_domains_do_not_share_campaigns(self, golden, tmp_path):
+        with ExperimentJournal(tmp_path / "j.sqlite") as journal:
+            memory = open_campaign(journal, golden, MEMORY, "full-scan", {})
+            register = open_campaign(journal, golden, REGISTER,
+                                     "full-scan", {})
+            assert memory.campaign_id != register.campaign_id
+
+
+class TestExecutionReport:
+    def test_complete_report(self):
+        report = ExecutionReport(total_units=10, executed=6, resumed=4)
+        assert report.complete
+        assert report.completeness == 1.0
+
+    def test_degraded_report(self):
+        report = ExecutionReport(total_units=10, executed=5,
+                                 failed_shards=1,
+                                 missing=((0, 1), (0, 2)))
+        assert not report.complete
+        assert report.completeness == pytest.approx(0.8)
+
+    def test_empty_report_is_trivially_complete(self):
+        assert ExecutionReport().complete
+        assert ExecutionReport().completeness == 1.0

@@ -133,3 +133,56 @@ class TestBiasedClassSampler:
         # Raw-uniform: class starting at slot 3 (17 slots) dominates the
         # class starting at slot 1 (2 slots) by roughly its size ratio.
         assert u_counts[3] > 4 * u_counts[1]
+
+
+class TestSeededSamplerState:
+    """RNG-position journaling: the hook behind exact sampling resume."""
+
+    def _partition(self):
+        return make_partition(10, 2, {0: [(2, READ), (7, READ)],
+                                      1: [(4, WRITE), (9, READ)]})
+
+    def test_state_round_trips_through_json(self):
+        partition = self._partition()
+        sampler = UniformSampler(partition.fault_space, seed=11)
+        sampler.draw_classified(7, partition)
+        state = sampler.rng_state()
+        clone = UniformSampler(partition.fault_space, seed=0)
+        clone.set_rng_state(state)
+        assert clone.rng_state() == state
+        assert clone.draw_classified(20, partition) \
+            == sampler.draw_classified(20, partition)
+
+    def test_state_is_a_position_not_a_seed(self):
+        """Equal seeds diverge after different draw counts — the state
+        captures *where* in the stream the sampler is."""
+        partition = self._partition()
+        a = UniformSampler(partition.fault_space, seed=5)
+        b = UniformSampler(partition.fault_space, seed=5)
+        assert a.rng_state() == b.rng_state()
+        a.draw_classified(3, partition)
+        assert a.rng_state() != b.rng_state()
+        b.draw_classified(3, partition)
+        assert a.rng_state() == b.rng_state()
+
+    @pytest.mark.parametrize("factory", [
+        lambda p: UniformSampler(p.fault_space, seed=9),
+        lambda p: LiveOnlySampler(p, seed=9),
+        lambda p: BiasedClassSampler(p, seed=9),
+    ])
+    def test_all_samplers_expose_resumable_state(self, factory):
+        partition = self._partition()
+        first = factory(partition)
+        whole = (first.draw_classified(12, partition)
+                 if isinstance(first, UniformSampler)
+                 else first.draw_classified(12))
+        second = factory(partition)
+        prefix = (second.draw_classified(5, partition)
+                  if isinstance(second, UniformSampler)
+                  else second.draw_classified(5))
+        resumed = factory(partition)
+        resumed.set_rng_state(second.rng_state())
+        rest = (resumed.draw_classified(7, partition)
+                if isinstance(resumed, UniformSampler)
+                else resumed.draw_classified(7))
+        assert prefix + rest == whole

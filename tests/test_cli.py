@@ -99,3 +99,98 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCliJournal:
+    """The scan --journal / resume surface."""
+
+    def test_scan_with_journal_then_resume_skips_work(self, capsys,
+                                                      tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--journal", journal])
+        first = capsys.readouterr().out
+        main(["scan", "hi", "--journal", journal])
+        second = capsys.readouterr().out
+        assert "resumed from journal" in second
+        assert "0 executed" in second
+        # The campaign numbers themselves are identical either way.
+        assert first.splitlines()[-2:] == second.splitlines()[-2:]
+
+    def test_scan_fresh_discards_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--journal", journal])
+        capsys.readouterr()
+        main(["scan", "hi", "--journal", journal, "--fresh"])
+        out = capsys.readouterr().out
+        assert "resumed from journal" not in out
+
+    def test_resume_lists_campaigns(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--journal", journal])
+        main(["scan", "hi", "--journal", journal, "--domain", "register",
+              "--samples", "40"])
+        capsys.readouterr()
+        main(["resume", "--journal", journal])
+        out = capsys.readouterr().out
+        assert "2 campaign(s)" in out
+        assert "full-scan" in out and "sampling" in out
+        assert "[memory domain]" in out and "[register domain]" in out
+
+    def test_resume_with_program_continues_the_campaign(self, capsys,
+                                                        tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--journal", journal])
+        baseline = capsys.readouterr().out
+        main(["resume", "hi", "--journal", journal])
+        out = capsys.readouterr().out
+        assert "resumed from journal" in out
+        assert baseline.splitlines()[-2:] == out.splitlines()[-2:]
+
+    def test_resume_lists_empty_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "empty.sqlite")
+        main(["resume", "--journal", journal])
+        out = capsys.readouterr().out
+        assert "no campaigns" in out
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SystemExit):
+            main(["resume", "hi"])
+
+    def test_robustness_flags_are_accepted(self, capsys):
+        main(["scan", "hi", "--jobs", "2", "--shard-timeout", "30",
+              "--max-retries", "1"])
+        out = capsys.readouterr().out
+        assert "weighted coverage" in out
+
+
+class TestCliParallelCombos:
+    def test_register_sampling_parallel_matches_serial(self, capsys):
+        """scan --domain register --samples --jobs, previously untested."""
+        main(["scan", "hi", "--domain", "register", "--samples", "60",
+              "--seed", "2"])
+        serial = capsys.readouterr().out
+        main(["scan", "hi", "--domain", "register", "--samples", "60",
+              "--seed", "2", "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_memory_sampling_parallel_matches_serial(self, capsys):
+        main(["scan", "counter", "--samples", "50", "--seed", "1"])
+        serial = capsys.readouterr().out
+        main(["scan", "counter", "--samples", "50", "--seed", "1",
+              "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_register_scan_journal_parallel_resume(self, capsys,
+                                                   tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--domain", "register"])
+        baseline = capsys.readouterr().out
+        main(["scan", "hi", "--domain", "register", "--journal", journal])
+        capsys.readouterr()
+        main(["scan", "hi", "--domain", "register", "--journal", journal,
+              "--jobs", "2"])
+        resumed = capsys.readouterr().out
+        assert "resumed from journal" in resumed
+        assert baseline.splitlines()[-2:] == resumed.splitlines()[-2:]
