@@ -1,0 +1,31 @@
+"""Machine-readable benchmark artifacts.
+
+Benchmarks that track the performance trajectory of the engine write a
+compact JSON summary next to their human-readable report: repo-root
+``BENCH_<name>.json`` files that CI uploads as workflow artifacts, so
+successive commits leave a comparable perf record without anyone
+parsing free-form text.
+
+The module name starts with an underscore so pytest (whose
+``python_files`` pattern includes ``bench_*.py``) does not collect it
+as a benchmark module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Repository root — the parent of the ``benchmarks/`` directory.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write ``payload`` to ``<repo-root>/BENCH_<name>.json``.
+
+    Keys are sorted and floats should be pre-rounded by the caller so
+    diffs between runs stay readable.  Returns the written path.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -2,8 +2,14 @@
 
 Not a paper figure — these measure the simulator substrate itself so
 performance regressions in the machine show up independently of the
-campaign-level benchmarks.
+campaign-level benchmarks.  The interpreter-throughput test also
+writes ``BENCH_machine.json`` at the repo root (see ``_bench_json``)
+so the cycles/second trajectory is tracked commit over commit.
 """
+
+import time
+
+from _bench_json import write_bench_json
 
 from repro.campaign import record_golden
 from repro.isa import Assembler, Machine, assemble
@@ -33,6 +39,20 @@ def test_interpreter_throughput(benchmark):
 
     cycles = benchmark(run)
     assert cycles == 2 + 5 * 2000
+    if benchmark.stats is not None:
+        mean = benchmark.stats.stats.mean
+    else:
+        # --benchmark-disable (CI smoke): time one run by hand so the
+        # JSON artifact still gets written and uploaded.
+        start = time.perf_counter()
+        run()
+        mean = time.perf_counter() - start
+    write_bench_json("machine", {
+        "benchmark": "interpreter_throughput",
+        "cycles_per_run": cycles,
+        "mean_seconds": round(mean, 6),
+        "cycles_per_second": round(cycles / mean),
+    })
 
 
 def test_snapshot_restore_cost(benchmark):

@@ -1,11 +1,19 @@
-"""Serial vs. parallel campaign wall-clock: the multi-process engine.
+"""Campaign-engine wall-clock: parallel scaling and convergence A/B.
 
-Measures a def/use-pruned full scan of the largest Figure 2 benchmark
-(sync2) executed serially and with the slot-sharded multiprocessing
-engine over a range of worker counts, writing the scaling curve to
-``output/parallel_scan.txt``.  Every parallel run is also checked for
-bit-for-bit equivalence with the serial result — speed must never buy
-back exactness.
+Two experiments over def/use-pruned full scans of the Figure 2
+benchmarks, with a human-readable report in
+``output/parallel_scan.txt`` and a machine-readable perf trajectory in
+repo-root ``BENCH_parallel_scan.json`` (uploaded by CI as an artifact):
+
+* **Parallel scaling** — the largest baseline variant executed
+  serially and with the slot-sharded multiprocessing engine over a
+  range of worker counts.
+* **Convergence A/B** — the SUM+DMR-hardened variant scanned with the
+  convergence early-exit system (checkpoint-digest ladder, masked
+  probes, criticality pre-skip) enabled and disabled.  The enabled
+  scan must be at least 2× faster *and* bit-for-bit identical: same
+  ``CampaignResult``, same exported CSV bytes — speed must never buy
+  back exactness.
 
 Scale knobs (environment):
 
@@ -15,15 +23,25 @@ Scale knobs (environment):
     Comma-separated worker counts (default: ``1,2,4`` plus the CPU count
     when larger).
 
-The ≥2× speedup assertion at 4 workers only applies on machines with at
-least 4 usable CPUs — a container pinned to one core cannot exhibit
-multi-core scaling, but still exercises (and verifies) the engine.
+The ≥2× parallel-speedup assertion at 4 workers only applies on
+machines with at least 4 usable CPUs — a container pinned to one core
+cannot exhibit multi-core scaling, but still exercises (and verifies)
+the engine.  The ≥2× convergence-speedup assertion has no such caveat:
+it is a single-process property of the executor.
 """
 
+import json
 import os
 import time
 
-from repro.campaign import record_golden, run_full_scan
+from _bench_json import write_bench_json
+
+from repro.campaign import (
+    ExecutorConfig,
+    export_class_results_csv,
+    record_golden,
+    run_full_scan,
+)
 from repro.programs import sync2
 
 
@@ -45,9 +63,26 @@ def _worker_counts() -> list[int]:
     return counts
 
 
+def _full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_PARALLEL_SCALE") == "full"
+
+
+def _merge_bench_json(section: str, payload: dict) -> None:
+    """Update one section of BENCH_parallel_scan.json, keeping the other."""
+    from _bench_json import REPO_ROOT
+    path = REPO_ROOT / "BENCH_parallel_scan.json"
+    data = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    write_bench_json("parallel_scan", data)
+
+
 def test_parallel_scan_scaling(output_dir):
-    full_scale = os.environ.get("REPRO_BENCH_PARALLEL_SCALE") == "full"
-    program = sync2.baseline() if full_scale else sync2.baseline(4)
+    program = sync2.baseline() if _full_scale() else sync2.baseline(4)
     golden = record_golden(program)
     partition = golden.partition()
 
@@ -68,12 +103,13 @@ def test_parallel_scan_scaling(output_dir):
         rows.append((f"jobs={jobs}", jobs, t_parallel, speedups[jobs]))
 
     cpus = _usable_cpus()
+    experiments = partition.experiment_count
     lines = [
         f"parallel full scan of {program.name} "
-        f"({'paper' if full_scale else 'quick'} scale)",
+        f"({'paper' if _full_scale() else 'quick'} scale)",
         f"Δt={golden.cycles} cycles, Δm={program.ram_size} bytes, "
         f"{len(partition.live_classes())} live classes, "
-        f"{partition.experiment_count} experiments",
+        f"{experiments} experiments",
         f"usable CPUs: {cpus}",
         "",
         f"{'engine':10s} {'workers':>7s} {'wall-clock':>11s} "
@@ -88,7 +124,87 @@ def test_parallel_scan_scaling(output_dir):
     print()
     print(report)
 
+    _merge_bench_json("scaling", {
+        "program": program.name,
+        "golden_cycles": golden.cycles,
+        "experiments": experiments,
+        "usable_cpus": cpus,
+        "serial_seconds": round(t_serial, 3),
+        "runs": [
+            {"workers": jobs, "wall_clock_seconds": round(elapsed, 3),
+             "speedup": round(speedup, 2)}
+            for _, jobs, elapsed, speedup in rows
+        ],
+    })
+
     if cpus >= 4 and 4 in speedups:
         assert speedups[4] >= 2.0, (
             f"expected >= 2x speedup at 4 workers on a {cpus}-CPU "
             f"machine, measured {speedups[4]:.2f}x")
+
+
+def test_convergence_ab(output_dir, tmp_path):
+    """Convergence on/off: ≥2× faster, bit-for-bit identical."""
+    program = sync2.hardened() if _full_scale() else sync2.hardened(2)
+    golden = record_golden(program)
+    partition = golden.partition()
+
+    start = time.perf_counter()
+    on = run_full_scan(golden, partition=partition,
+                       config=ExecutorConfig(use_convergence=True))
+    t_on = time.perf_counter() - start
+    start = time.perf_counter()
+    off = run_full_scan(golden, partition=partition,
+                        config=ExecutorConfig(use_convergence=False))
+    t_off = time.perf_counter() - start
+
+    # Exactness first: the optimized scan must be indistinguishable.
+    assert on == off, "convergence early-exit changed campaign outcomes"
+    on_csv, off_csv = tmp_path / "on.csv", tmp_path / "off.csv"
+    export_class_results_csv(on, on_csv)
+    export_class_results_csv(off, off_csv)
+    assert on_csv.read_bytes() == off_csv.read_bytes(), \
+        "convergence early-exit changed exported CSV bytes"
+
+    experiments = partition.experiment_count
+    conv = on.execution.convergence_hits
+    skips = on.execution.slice_hits
+    speedup = t_off / t_on
+    hit_rate = (conv + skips) / experiments
+
+    lines = [
+        f"convergence A/B on {program.name} "
+        f"({'paper' if _full_scale() else 'quick'} scale)",
+        f"Δt={golden.cycles} cycles, {experiments} experiments",
+        f"  convergence on : {t_on:8.3f}s "
+        f"({experiments / t_on:8.0f} experiments/s)",
+        f"  convergence off: {t_off:8.3f}s "
+        f"({experiments / t_off:8.0f} experiments/s)",
+        f"  speedup: {speedup:.2f}x",
+        f"  ladder hits: {conv} ({conv / experiments:.1%}), "
+        f"criticality pre-skips: {skips} ({skips / experiments:.1%})",
+        f"  combined hit rate: {hit_rate:.1%}",
+    ]
+    report = "\n".join(lines) + "\n"
+    with (output_dir / "parallel_scan.txt").open("a") as fh:
+        fh.write("\n" + report)
+    print()
+    print(report)
+
+    _merge_bench_json("convergence_ab", {
+        "program": program.name,
+        "golden_cycles": golden.cycles,
+        "experiments": experiments,
+        "wall_clock_on_seconds": round(t_on, 3),
+        "wall_clock_off_seconds": round(t_off, 3),
+        "experiments_per_second_on": round(experiments / t_on, 1),
+        "experiments_per_second_off": round(experiments / t_off, 1),
+        "speedup": round(speedup, 2),
+        "convergence_hits": conv,
+        "slice_hits": skips,
+        "hit_rate": round(hit_rate, 4),
+    })
+
+    assert speedup >= 2.0, (
+        f"expected the convergence early-exit to cut the scan at least "
+        f"2x, measured {speedup:.2f}x")

@@ -117,6 +117,14 @@ def completeness_report(report: ExecutionReport) -> str:
             f"as timeout")
     if report.shard_retries:
         lines.append(f"  worker retries: {report.shard_retries}")
+    if report.convergence_hits:
+        lines.append(
+            f"  convergence early-exits: {report.convergence_hits} "
+            f"experiment(s) classified at a golden checkpoint")
+    if report.slice_hits:
+        lines.append(
+            f"  criticality pre-skips: {report.slice_hits} "
+            f"experiment(s) classified without execution")
     if report.failed_shards:
         lines.append(f"  shards abandoned after retry budget: "
                      f"{report.failed_shards}")

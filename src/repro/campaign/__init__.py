@@ -24,6 +24,8 @@ from .journal import (
 from .parallel import ParallelCampaign, RetryPolicy, resolve_jobs
 from .golden import (
     DEFAULT_GOLDEN_CYCLE_LIMIT,
+    MAX_CHECKPOINTS,
+    CheckpointLadder,
     GoldenRun,
     GoldenRunError,
     record_golden,
@@ -75,8 +77,10 @@ __all__ = [
     "ParallelCampaign",
     "RetryPolicy",
     "resolve_jobs",
+    "CheckpointLadder",
     "GoldenRun",
     "GoldenRunError",
+    "MAX_CHECKPOINTS",
     "Outcome",
     "PANIC_CODE",
     "RegisterCampaignResult",

@@ -10,6 +10,54 @@ ascending slot order — the runner guarantees this — every pre-injection
 instruction is executed exactly once across the whole campaign instead
 of once per experiment, which turns the full-scan cost from
 O(experiments × Δt) into O(Δt + Σ post-injection cycles).
+
+The *post*-injection half of that sum is cut by the **convergence
+early-exit** (``ExecutorConfig.use_convergence``, on by default): most
+experiments under the uniform bit-flip model are benign — the flipped
+bit is dead, overwritten, or corrected by a hardening mechanism — and
+the faulty machine becomes state-identical to the golden run within a
+few dozen cycles of injection.  The executor therefore pauses the
+faulty machine at exponentially backed-off checkpoints and compares
+its :meth:`~repro.isa.cpu.Machine.state_digest` against the golden
+run's :class:`~.golden.CheckpointLadder` digest table.  On a match the
+remaining execution is *provably* identical to the golden suffix
+starting at the matched golden cycle — the machine is deterministic
+and the digest covers all state that drives execution — so the
+experiment is classified from golden facts alone and the rest of the
+tail is skipped.  Three refinements make the hit rate high and the
+miss cost low:
+
+* Matches at a *shifted* cycle (the fault inserted or removed a
+  constant number of cycles before the state re-joined the golden
+  trajectory — the typical shape of a detect-and-correct recovery) are
+  equally sound: the suffix is still the golden suffix, only the end
+  cycle moves by the shift.  The ladder is dense (a rung per golden
+  cycle, up to :data:`~.golden.MAX_CHECKPOINTS`) precisely so that a
+  check at any faulty cycle can match whatever the shift is.
+* Each checkpoint also probes a *masked* digest with the injected cell
+  flipped back (the flip is an involution).  A masked match means the
+  state differs from the golden state in exactly the injected bit —
+  and when def/use analysis shows that cell's next golden access is
+  not a read, the corrupt value can never be observed again, so the
+  suffix is provably golden and the early exit is equally exact.
+  This catches the large "benign but still dirty" population whose
+  flipped bit simply dies in place.
+* Check gaps double after every miss, so a run that never converges
+  (a real failure) pays O(log tail) digests instead of a fixed
+  per-stride toll, while a converging run is still caught within ~2×
+  its convergence latency.
+
+A fourth early exit needs no digest at all: the **criticality
+pre-skip**.  A backward slice of the golden run
+(:mod:`repro.faultspace.slicing`) proves, per fault-space cell and
+injection point, whether a corrupt value there can ever reach an
+observable sink (serial output, control flow, a memory address, a
+trapping divisor).  When it cannot, the experiment's outcome *is* the
+golden outcome and the executor classifies it before running a single
+post-injection cycle.  The same map strengthens the masked probe: a
+masked match is sound not only when the injected cell is def/use-dead
+at the matched cycle but whenever it is non-critical there — dead
+cells are a strict subset of non-critical ones.
 """
 
 from __future__ import annotations
@@ -17,6 +65,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..faultspace.domain import FaultDomain, MEMORY, get_domain
+from ..faultspace.slicing import backward_slice
 from ..faultspace.model import FaultCoordinate
 from ..isa.cpu import Machine, MachineState
 from ..isa.errors import CPUException
@@ -51,6 +100,12 @@ class ExecutorConfig:
     timeout_slack: int = DEFAULT_TIMEOUT_SLACK
     use_snapshots: bool = True
     early_stop: bool = True
+    #: Classify experiments early when the faulty machine's state digest
+    #: re-joins the golden checkpoint ladder.  Outcome-invariant (the
+    #: differential tests prove bit-for-bit identity), so it is *not*
+    #: part of the journal campaign key; requires the golden run to
+    #: carry a :class:`~.golden.CheckpointLadder`.
+    use_convergence: bool = True
     #: Fault-domain registry name; workers resolve it to the singleton.
     domain: str = MEMORY.name
 
@@ -79,6 +134,7 @@ class ExecutorConfig:
                    timeout_slack=self.timeout_slack,
                    use_snapshots=self.use_snapshots,
                    early_stop=self.early_stop,
+                   use_convergence=self.use_convergence,
                    domain=self.domain)
 
 
@@ -108,6 +164,7 @@ class ExperimentExecutor:
                  timeout_slack: int = DEFAULT_TIMEOUT_SLACK,
                  use_snapshots: bool = True,
                  early_stop: bool = True,
+                 use_convergence: bool = True,
                  domain: FaultDomain | str = MEMORY):
         self.golden = golden
         self.domain = get_domain(domain)
@@ -116,13 +173,36 @@ class ExperimentExecutor:
             timeout_slack=timeout_slack).timeout_cycles(golden.cycles)
         self.use_snapshots = use_snapshots
         self.early_stop = early_stop
+        self.use_convergence = use_convergence
+        ladder = getattr(golden, "checkpoints", None)
+        if use_convergence and ladder is not None and ladder.digests:
+            self._stride = ladder.stride
+            self._golden_cycle_of = ladder.lookup()
+        else:
+            # No ladder (hand-built or pre-ladder golden run) or
+            # convergence disabled: every tail runs to completion.
+            self._stride = 0
+            self._golden_cycle_of = {}
         oracle = golden.output if early_stop else None
         self._machine = Machine(golden.program, oracle=oracle)
         self._pristine = Machine(golden.program)
         self._snapshot: MachineState | None = None
+        # Criticality map for the pre-run skip and the masked-probe
+        # observability proofs; built lazily on the first experiment
+        # (never needed when convergence is off).
+        self._criticality = None
+        self._golden_record_cache: ExperimentRecord | None = None
         #: Number of pre-injection rewinds (diagnostics for the ablation
         #: benchmark; stays 0 when experiments arrive slot-sorted).
         self.rewinds = 0
+        #: Experiments classified early at a golden checkpoint digest.
+        self.convergence_hits = 0
+        #: Experiments classified without running at all because the
+        #: backward slice proved the injected cell non-critical.
+        self.slice_hits = 0
+        #: Checkpoint boundaries at which a digest was computed and
+        #: compared (diagnostics: overhead per skipped tail).
+        self.convergence_checks = 0
 
     def run(self, coordinate: FaultCoordinate) -> ExperimentRecord:
         """Run one experiment and classify its outcome."""
@@ -130,6 +210,12 @@ class ExperimentExecutor:
             raise ValueError(
                 f"slot {coordinate.slot} beyond golden runtime "
                 f"{self.golden.cycles}")
+        if self.use_convergence and not self._cell_critical(coordinate):
+            # Criticality pre-skip: the corrupt value provably never
+            # reaches an observable sink, so the run would reproduce
+            # the golden outcome cycle for cycle — skip it entirely.
+            self.slice_hits += 1
+            return self._golden_record(coordinate)
         machine = self._machine
         if self.use_snapshots:
             machine.restore(self._state_at(coordinate.slot - 1))
@@ -139,10 +225,17 @@ class ExperimentExecutor:
         self._inject(machine, coordinate)
 
         trap = ""
+        matched_cycle = None
         try:
-            machine.run(self.timeout_cycles)
+            if self._stride:
+                matched_cycle = self._seek_convergence(machine, coordinate)
+            if matched_cycle is None:
+                machine.run(self.timeout_cycles)
         except CPUException as exc:
             trap = exc.trap_name
+        if matched_cycle is not None:
+            return self._converged_record(machine, coordinate,
+                                          matched_cycle)
         trapped = bool(trap)
         timed_out = not machine.halted and not trapped
         if machine.diverged:
@@ -161,6 +254,132 @@ class ExperimentExecutor:
             )
         return ExperimentRecord(coordinate=coordinate, outcome=outcome,
                                 end_cycle=machine.cycle, trap=trap)
+
+    # -- convergence early-exit ------------------------------------------------
+
+    def _seek_convergence(self, machine: Machine,
+                          coordinate) -> int | None:
+        """Advance checkpoint-to-checkpoint until a digest matches.
+
+        Returns the *golden* cycle the faulty machine's state matched
+        at (exactly, or up to the provably-dead injected cell), or
+        ``None`` when the run ended (halt, divergence; traps propagate
+        to the caller) or exhausted the cycle budget without re-joining
+        the golden trajectory.  On ``None`` the caller's
+        ``machine.run(timeout_cycles)`` finishes the remaining tail, so
+        the classification path stays byte-identical to the
+        non-convergent executor.
+
+        Check positions stay aligned to the ladder stride (off-stride
+        cycles have no rung to match under a zero shift) and the gap
+        between checks doubles after every miss.
+        """
+        stride = self._stride
+        table = self._golden_cycle_of
+        limit = self.timeout_cycles
+        inject = self.domain.inject
+        gap = stride
+        target = machine.cycle + gap
+        target += -target % stride
+        while target < limit:
+            machine.run_to_cycle(target)
+            if machine.halted:
+                return None
+            self.convergence_checks += 1
+            matched = table.get(machine.state_digest())
+            if matched is not None:
+                return matched
+            # Masked probe: re-flipping the injected cell is the
+            # inverse of the injection, so this digest asks "is the
+            # state golden except for exactly the injected bit?".
+            inject(machine, coordinate)
+            masked = table.get(machine.state_digest())
+            inject(machine, coordinate)
+            if masked is not None and self._cell_unobservable_after(
+                    coordinate, masked):
+                return masked
+            gap *= 2
+            target += gap
+            target += -target % stride
+        return None
+
+    def _cell_critical(self, coordinate) -> bool:
+        """Can the fault at ``coordinate`` ever influence the outcome?"""
+        if self._criticality is None:
+            self._criticality = backward_slice(self.golden)
+        return self.domain.cell_critical(self._criticality, coordinate)
+
+    def _cell_unobservable_after(self, coordinate,
+                                 golden_cycle: int) -> bool:
+        """Is the injected cell's value irrelevant past ``golden_cycle``?
+
+        True when the backward slice shows the cell is non-critical at
+        the matched golden cycle: even if the golden suffix still reads
+        it, the corrupt value provably never reaches an observable
+        sink, so execution after a masked match classifies exactly like
+        the golden suffix.  (Def/use-dead cells — overwritten first, or
+        never touched again — are a strict subset of this.)
+        """
+        probe = self.domain.coordinate(
+            golden_cycle + 1, self.domain.coordinate_axis(coordinate),
+            coordinate.bit)
+        return not self._cell_critical(probe)
+
+    def _golden_record(self, coordinate) -> ExperimentRecord:
+        """The record of an experiment proven to reproduce the golden run."""
+        cached = self._golden_record_cache
+        if cached is None:
+            outcome = classify(
+                golden_output=self.golden.output,
+                output=self.golden.output,
+                halted_cleanly=True,
+                trapped=False,
+                timed_out=False,
+                detections=(),
+            )
+            cached = self._golden_record_cache = ExperimentRecord(
+                coordinate=coordinate, outcome=outcome,
+                end_cycle=self.golden.cycles)
+        return ExperimentRecord(coordinate=coordinate,
+                                outcome=cached.outcome,
+                                end_cycle=cached.end_cycle)
+
+    def _converged_record(self, machine: Machine, coordinate,
+                          matched_cycle: int) -> ExperimentRecord:
+        """Classify a converged experiment from golden facts alone.
+
+        The faulty machine at cycle ``c'`` holds the golden state of
+        cycle ``c = matched_cycle`` (exactly, or up to the injected
+        cell whose value is proven dead); determinism makes its
+        remaining execution the golden suffix after ``c``: it emits the
+        golden output's remaining bytes, records no further detections
+        (the golden run has none), and halts cleanly when the suffix
+        ends at cycle ``c' + (Δt - c)`` — unless that end lies beyond
+        the cycle budget, in which case the run is a timeout, exactly
+        as if it had been executed.
+        """
+        self.convergence_hits += 1
+        golden = self.golden
+        end_cycle = machine.cycle - matched_cycle + golden.cycles
+        if end_cycle > self.timeout_cycles:
+            # The golden suffix cannot finish inside the budget, and it
+            # cannot halt, trap or diverge early — the golden run did
+            # not: the real run would hit the budget mid-suffix.
+            return ExperimentRecord(coordinate=coordinate,
+                                    outcome=Outcome.TIMEOUT,
+                                    end_cycle=self.timeout_cycles)
+        emitted = bytes(machine.serial)
+        output = emitted + golden.output[len(emitted):]
+        outcome = classify(
+            golden_output=golden.output,
+            output=output,
+            halted_cleanly=True,
+            trapped=False,
+            timed_out=False,
+            detections=tuple(machine.detections),
+        )
+        return ExperimentRecord(coordinate=coordinate, outcome=outcome,
+                                end_cycle=end_cycle)
 
     def _inject(self, machine: Machine, coordinate) -> None:
         """Apply the fault at the current pause point.

@@ -6,7 +6,9 @@ tracing enabled.  It establishes:
 * the correct serial output (the failure oracle),
 * the runtime Δt in cycles and thus the fault space together with the
   program's RAM footprint Δm,
-* the memory-access trace feeding def/use pruning.
+* the memory-access trace feeding def/use pruning,
+* the checkpoint-digest ladder powering the campaign layer's
+  convergence early-exit (see :class:`CheckpointLadder`).
 """
 
 from __future__ import annotations
@@ -23,9 +25,49 @@ from ..isa.tracing import MemoryTrace
 #: Safety cap for golden runs of programs that fail to terminate.
 DEFAULT_GOLDEN_CYCLE_LIMIT = 5_000_000
 
+#: Ladder-size cap for the auto-tuned checkpoint stride: recording
+#: starts *dense* (a rung every cycle) and doubles the stride
+#: (decimating the digests already taken) whenever the ladder would
+#: exceed this many checkpoints.  Density matters because a faulty run
+#: that re-joins the golden trajectory usually does so with a small
+#: cycle *shift* (a detect-and-correct path inserts a handful of extra
+#: cycles): with a rung at every golden cycle, a digest check at any
+#: faulty cycle can match regardless of the shift, whereas a sparse
+#: ladder only catches shifts that are multiples of its stride.  The
+#: cap keeps long programs bounded — ``Δt``-proportional stride, at
+#: most ~16k digests (≈1 MiB) per golden run — at the cost of that
+#: shift granularity.
+MAX_CHECKPOINTS = 16384
+
 
 class GoldenRunError(RuntimeError):
     """The fault-free run misbehaved (trap, timeout, or detections)."""
+
+
+@dataclass(frozen=True)
+class CheckpointLadder:
+    """Golden state digests taken every ``stride`` cycles.
+
+    ``digests[i]`` is the golden machine's
+    :meth:`~repro.isa.cpu.Machine.state_digest` right after instruction
+    ``(i + 1) * stride`` executed; checkpoints are only taken while the
+    machine is still running, so every rung refers to a *live* golden
+    state.
+
+    Because the golden run terminates, no two of its live states can be
+    identical — a repeated (ram, regs, pc, output-length) state would
+    loop forever — so the digest → cycle mapping of :meth:`lookup` is
+    injective and a faulty machine whose digest appears in it has
+    provably re-joined the golden trajectory at that golden cycle.
+    """
+
+    stride: int
+    digests: tuple[bytes, ...]
+
+    def lookup(self) -> dict[bytes, int]:
+        """``digest -> golden cycle`` table (build once per executor)."""
+        return {digest: (i + 1) * self.stride
+                for i, digest in enumerate(self.digests)}
 
 
 @dataclass(frozen=True)
@@ -41,6 +83,12 @@ class GoldenRun:
     #: def/use pruning derives its access events from it.  ``None`` only
     #: for golden runs built by hand or unpickled from older versions.
     pc_trace: tuple[int, ...] | None = None
+    #: Checkpoint-digest ladder for the convergence early-exit.  ``None``
+    #: for golden runs built by hand or unpickled from older versions
+    #: (the class attribute supplies the default, so old pickles load
+    #: cleanly); executors then simply run every post-injection tail to
+    #: completion.
+    checkpoints: CheckpointLadder | None = None
 
     @property
     def fault_space(self) -> FaultSpace:
@@ -55,10 +103,22 @@ class GoldenRun:
         return partition
 
     def executed_pcs(self) -> list[int]:
-        """The executed-pc trace, replaying the run only if not recorded."""
+        """The executed-pc trace, replaying the run only if not recorded.
+
+        The replay fallback is cached (register-domain partitioning and
+        the analysis layer both call this), so even a hand-built golden
+        run re-executes at most once.  A fresh list is returned each
+        call; callers may mutate it freely.
+        """
         if self.pc_trace is not None:
             return list(self.pc_trace)
-        return _replay_pc_trace(self)
+        cached = self.__dict__.get("_replayed_pcs")
+        if cached is None:
+            cached = tuple(_replay_pc_trace(self))
+            # Frozen dataclass: write the cache through __dict__, which
+            # also keeps it out of equality and repr.
+            self.__dict__["_replayed_pcs"] = cached
+        return list(cached)
 
 
 def _replay_pc_trace(golden: GoldenRun) -> list[int]:
@@ -83,20 +143,33 @@ def _replay_pc_trace(golden: GoldenRun) -> list[int]:
 
 
 def record_golden(program: Program, *,
-                  cycle_limit: int = DEFAULT_GOLDEN_CYCLE_LIMIT) -> GoldenRun:
+                  cycle_limit: int = DEFAULT_GOLDEN_CYCLE_LIMIT,
+                  checkpoint_stride: int | None = None) -> GoldenRun:
     """Run ``program`` fault-free and record its golden run.
+
+    ``checkpoint_stride`` fixes the digest-ladder stride; the default
+    auto-tunes it to the (not yet known) runtime Δt by starting dense
+    (a rung every cycle) and doubling — decimating the rungs already
+    taken — whenever the ladder outgrows :data:`MAX_CHECKPOINTS`.  A
+    stride of ``0`` disables the ladder.
 
     Raises :class:`GoldenRunError` if the fault-free run traps, exceeds
     ``cycle_limit``, or emits ``detect`` events (a hardened benchmark
     whose checker fires without faults is broken).
     """
+    if checkpoint_stride is not None and checkpoint_stride < 0:
+        raise ValueError(
+            f"checkpoint_stride must be >= 0, got {checkpoint_stride}")
+    auto_stride = checkpoint_stride is None
+    stride = 1 if auto_stride else checkpoint_stride
+    digests: list[bytes] = []
     tracer = MemoryTrace()
     machine = Machine(program, tracer=tracer)
-    # Step (rather than Machine.run) so the executed-pc trace is
-    # captured in the same pass that records the memory trace; register
-    # def/use pruning then needs no second execution.  Golden runs
-    # happen once per campaign, so the per-step dispatch cost is noise
-    # next to the campaign itself.
+    # Step (rather than Machine.run) so the executed-pc trace and the
+    # checkpoint ladder are captured in the same pass that records the
+    # memory trace; register def/use pruning then needs no second
+    # execution.  Golden runs happen once per campaign, so the per-step
+    # dispatch cost is noise next to the campaign itself.
     pcs: list[int] = []
     try:
         while not machine.halted and machine.cycle < cycle_limit:
@@ -105,6 +178,14 @@ def record_golden(program: Program, *,
             machine.step()
             if machine.cycle > before:
                 pcs.append(pc)
+                if (stride and not machine.halted
+                        and machine.cycle % stride == 0):
+                    digests.append(machine.state_digest())
+                    if auto_stride and len(digests) > MAX_CHECKPOINTS:
+                        # Double the stride, keeping every second rung
+                        # (those at multiples of the doubled stride).
+                        digests = digests[1::2]
+                        stride *= 2
     except CPUException as exc:
         raise GoldenRunError(
             f"golden run of {program.name!r} trapped: {exc}") from exc
@@ -119,6 +200,8 @@ def record_golden(program: Program, *,
         raise GoldenRunError(
             f"golden run of {program.name!r} executed no instructions")
     tracer.finish(machine.cycle)
+    ladder = (CheckpointLadder(stride=stride, digests=tuple(digests))
+              if stride else None)
     return GoldenRun(program=program, output=bytes(machine.serial),
                      cycles=machine.cycle, trace=tracer,
-                     pc_trace=tuple(pcs))
+                     pc_trace=tuple(pcs), checkpoints=ladder)

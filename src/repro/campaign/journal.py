@@ -145,6 +145,16 @@ class ExecutionReport:
     #: Class keys (or experiment keys) missing from the result because
     #: their shard was abandoned; empty for a complete campaign.
     missing: tuple = field(default_factory=tuple)
+    #: Experiments classified early because the faulty machine's state
+    #: digest re-joined the golden checkpoint ladder (the convergence
+    #: early-exit).  Purely a performance diagnostic — outcomes are
+    #: identical with the optimization off.
+    convergence_hits: int = 0
+    #: Experiments classified without executing a single post-injection
+    #: cycle because the backward slice proved the injected cell
+    #: non-critical (the criticality pre-skip).  Like
+    #: :attr:`convergence_hits`, a performance diagnostic only.
+    slice_hits: int = 0
 
     @property
     def complete(self) -> bool:

@@ -8,7 +8,11 @@ keep the parallel engine exactly as exact as the serial one:
 * **One executor per worker.**  :class:`~.experiment.ExperimentExecutor`
   is documented as not thread-safe; every worker process builds its own
   from a pickled :class:`~.experiment.ExecutorConfig` in the pool
-  initializer.
+  initializer.  The golden run — including its checkpoint-digest ladder
+  for the convergence early-exit — crosses the process boundary exactly
+  once per worker, via the initializer args, never per shard or per
+  experiment; each worker expands the ladder into its digest → cycle
+  lookup table locally.
 * **Contiguous slot shards.**  The executor's snapshot fast-forward
   (:meth:`ExperimentExecutor._state_at`) only pays off when experiments
   arrive in ascending injection-slot order.  Work is therefore split into
@@ -241,11 +245,19 @@ def _chaos(index: int, attempt: int) -> None:
 
 
 def _scan_shard(task):
-    """Run one contiguous shard of live classes (full-scan worker)."""
+    """Run one contiguous shard of live classes (full-scan worker).
+
+    The trailing elements of the result are the shard's convergence-hit
+    and slice-hit counts, reported as deltas because the worker's
+    executor (and its counters) persists across the shards the pool
+    hands this process.
+    """
     index, attempt, payload = task
     _chaos(index, attempt)
     intervals, keep_records = payload
     executor = _WORKER_EXECUTOR
+    hits_base = executor.convergence_hits
+    slice_base = executor.slice_hits
     class_key = executor.domain.class_key
     pairs = []
     records: list[ExperimentRecord] = []
@@ -255,7 +267,8 @@ def _scan_shard(task):
                       tuple(record.outcome for record in results)))
         if keep_records:
             records.extend(results)
-    return pairs, records
+    return (pairs, records, executor.convergence_hits - hits_base,
+            executor.slice_hits - slice_base)
 
 
 def _brute_shard(task):
@@ -268,6 +281,8 @@ def _brute_shard(task):
     index, attempt, slots = task
     _chaos(index, attempt)
     executor = _WORKER_EXECUTOR
+    hits_base = executor.convergence_hits
+    slice_base = executor.slice_hits
     domain = executor.domain
     space = domain.fault_space(executor.golden)
     out = []
@@ -275,7 +290,8 @@ def _brute_shard(task):
         out.append((slot, [(domain.coordinate_axis(coord), coord.bit,
                             executor.run(coord).outcome)
                            for coord in domain.slot_coordinates(space, slot)]))
-    return out
+    return (out, executor.convergence_hits - hits_base,
+            executor.slice_hits - slice_base)
 
 
 def _sampling_shard(task):
@@ -283,7 +299,11 @@ def _sampling_shard(task):
     index, attempt, keyed = task
     _chaos(index, attempt)
     executor = _WORKER_EXECUTOR
-    return [(key, executor.run(coord).outcome) for key, coord in keyed]
+    hits_base = executor.convergence_hits
+    slice_base = executor.slice_hits
+    rows = [(key, executor.run(coord).outcome) for key, coord in keyed]
+    return (rows, executor.convergence_hits - hits_base,
+            executor.slice_hits - slice_base)
 
 
 # -- driver -------------------------------------------------------------------
@@ -477,7 +497,9 @@ class ParallelCampaign:
 
         def on_result(index, result):
             nonlocal done
-            pairs, shard_records = result
+            pairs, shard_records, hits, skips = result
+            report.convergence_hits += hits
+            report.slice_hits += skips
             record_iter = iter(shard_records)
             for key, outcomes in pairs:
                 class_records = ([next(record_iter) for _ in outcomes]
@@ -508,7 +530,7 @@ class ParallelCampaign:
                                          end_cycle=timeout_cycles)
                         for coord in coords)
                 report.synthesized_timeouts += len(coords)
-            return pairs, records
+            return pairs, records, 0, 0
 
         self._run_shards(
             _scan_shard, tasks, costs=costs, report=report,
@@ -575,13 +597,16 @@ class ParallelCampaign:
 
         def on_result(index, result):
             nonlocal done
-            for slot, rows in result:
+            slot_rows, hits, skips = result
+            report.convergence_hits += hits
+            report.slice_hits += skips
+            for slot, rows in slot_rows:
                 fresh[slot] = rows
                 if handle is not None:
                     handle.record_slot(slot, [(axis, bit, outcome.value)
                                               for axis, bit, outcome in rows])
-            report.executed += len(result)
-            done += len(result)
+            report.executed += len(slot_rows)
+            done += len(slot_rows)
             if progress is not None:
                 progress(done, golden.cycles)
 
@@ -593,7 +618,7 @@ class ParallelCampaign:
                         for coord in domain.slot_coordinates(space, slot)]
                 report.synthesized_timeouts += len(rows)
                 out.append((slot, rows))
-            return out
+            return out, 0, 0
 
         self._run_shards(
             _brute_shard, tasks, costs=costs, report=report,
@@ -680,20 +705,23 @@ class ParallelCampaign:
 
         def on_result(index, result):
             nonlocal done
+            rows, hits, skips = result
+            report.convergence_hits += hits
+            report.slice_hits += skips
             if handle is not None:
                 handle.record_experiments(
                     [(key[0], key[1], key[2], outcome.value)
-                     for key, outcome in result])
-            for key, outcome in result:
+                     for key, outcome in rows])
+            for key, outcome in rows:
                 cache[key] = outcome
-            report.executed += len(result)
-            done += len(result)
+            report.executed += len(rows)
+            done += len(rows)
             if progress is not None:
                 progress(done, len(items))
 
         def timeout_result(shard):
             report.synthesized_timeouts += len(shard)
-            return [(key, Outcome.TIMEOUT) for key, _ in shard]
+            return [(key, Outcome.TIMEOUT) for key, _ in shard], 0, 0
 
         self._run_shards(
             _sampling_shard, tasks, costs=costs, report=report,

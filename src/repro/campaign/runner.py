@@ -33,7 +33,7 @@ wall-clock timeouts, completeness).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..faultspace.defuse import LIVE
@@ -44,7 +44,7 @@ from ..faultspace.sampling import (
     Sample,
     UniformSampler,
 )
-from .experiment import ExperimentExecutor, ExperimentRecord
+from .experiment import ExecutorConfig, ExperimentExecutor, ExperimentRecord
 from .golden import GoldenRun
 from .journal import ExecutionReport, open_campaign
 from .outcomes import Outcome
@@ -55,9 +55,26 @@ ProgressCallback = Callable[[int, int], None]
 def _executor_params(executor: ExperimentExecutor) -> dict:
     """The executor settings that affect outcomes — part of the journal
     key, so a changed timeout policy opens a fresh campaign instead of
-    mixing incompatible classifications."""
+    mixing incompatible classifications.  ``use_convergence`` is
+    deliberately absent: it cannot change any outcome, so a campaign
+    journaled with it on resumes cleanly with it off and vice versa."""
     return {"timeout_cycles": executor.timeout_cycles,
             "early_stop": executor.early_stop}
+
+
+def _build_executor(golden: GoldenRun,
+                    executor: ExperimentExecutor | None,
+                    config: ExecutorConfig | None,
+                    domain: FaultDomain) -> ExperimentExecutor:
+    """Resolve the serial path's executor from the caller's arguments."""
+    if executor is not None:
+        if config is not None:
+            raise ValueError(
+                "pass either executor= or config=, not both; the config "
+                "exists to build an executor when none is given")
+        return executor
+    return replace(config or ExecutorConfig(),
+                   domain=domain.name).build(golden)
 
 
 @dataclass
@@ -161,7 +178,8 @@ class CampaignResult:
 
 def _parallel_campaign(golden: GoldenRun, jobs: int,
                        executor: ExperimentExecutor | None,
-                       domain: FaultDomain, policy):
+                       domain: FaultDomain, policy,
+                       config: ExecutorConfig | None = None):
     """Build the parallel driver for a runner-level ``jobs`` request."""
     from .parallel import ParallelCampaign
 
@@ -169,12 +187,14 @@ def _parallel_campaign(golden: GoldenRun, jobs: int,
         raise ValueError(
             "an explicit executor cannot be shared across worker "
             "processes; drop the executor argument or run with jobs=None")
-    return ParallelCampaign(golden, jobs, domain=domain, policy=policy)
+    return ParallelCampaign(golden, jobs, executor_config=config,
+                            domain=domain, policy=policy)
 
 
 def run_full_scan(golden: GoldenRun, *,
                   partition=None,
                   executor: ExperimentExecutor | None = None,
+                  config: ExecutorConfig | None = None,
                   keep_records: bool = False,
                   progress: ProgressCallback | None = None,
                   jobs: int | None = None,
@@ -190,6 +210,11 @@ def run_full_scan(golden: GoldenRun, *,
     model (``"memory"`` or ``"register"``).  Results are identical for
     every engine choice.
 
+    ``config`` is an :class:`~.experiment.ExecutorConfig` applied on
+    both the serial and the parallel path (e.g. to disable the
+    convergence early-exit); ``executor`` injects a prebuilt executor
+    on the serial path only and excludes ``config``.
+
     ``journal`` enables durable per-class result journaling and resume
     (see the module docstring); ``policy`` is a
     :class:`~repro.campaign.parallel.RetryPolicy` for the parallel
@@ -198,13 +223,14 @@ def run_full_scan(golden: GoldenRun, *,
     domain = get_domain(domain)
     if jobs is not None:
         return _parallel_campaign(golden, jobs, executor, domain,
-                                  policy).run_full_scan(
+                                  policy, config).run_full_scan(
             partition=partition, keep_records=keep_records,
             progress=progress, journal=journal, resume=resume)
     if partition is None:
         partition = domain.build_partition(golden)
-    if executor is None:
-        executor = ExperimentExecutor(golden, domain=domain)
+    executor = _build_executor(golden, executor, config, domain)
+    hits_base = executor.convergence_hits
+    slice_base = executor.slice_hits
     handle = open_campaign(journal, golden, domain, "full-scan",
                            _executor_params(executor))
     completed = {}
@@ -245,6 +271,8 @@ def run_full_scan(golden: GoldenRun, *,
             report.executed += 1
         if progress is not None:
             progress(done + 1, len(live))
+    report.convergence_hits = executor.convergence_hits - hits_base
+    report.slice_hits = executor.slice_hits - slice_base
     if handle is not None:
         handle.mark_complete()
     return CampaignResult(golden=golden, partition=partition,
@@ -272,6 +300,7 @@ class BruteForceResult:
 
 def run_brute_force(golden: GoldenRun, *,
                     executor: ExperimentExecutor | None = None,
+                    config: ExecutorConfig | None = None,
                     progress: ProgressCallback | None = None,
                     jobs: int | None = None,
                     domain: FaultDomain | str = MEMORY,
@@ -282,17 +311,18 @@ def run_brute_force(golden: GoldenRun, *,
 
     Only feasible for tiny programs; used by tests and examples to prove
     that def/use pruning plus weighting reproduces these numbers exactly.
-    ``jobs``, ``domain``, ``journal`` and ``resume`` behave as in
-    :func:`run_full_scan`; ``progress`` is called per completed
+    ``jobs``, ``domain``, ``config``, ``journal`` and ``resume`` behave
+    as in :func:`run_full_scan`; ``progress`` is called per completed
     injection slot.  The journal's atomic unit is one injection slot.
     """
     domain = get_domain(domain)
     if jobs is not None:
         return _parallel_campaign(golden, jobs, executor, domain,
-                                  policy).run_brute_force(
+                                  policy, config).run_brute_force(
             progress=progress, journal=journal, resume=resume)
-    if executor is None:
-        executor = ExperimentExecutor(golden, domain=domain)
+    executor = _build_executor(golden, executor, config, domain)
+    hits_base = executor.convergence_hits
+    slice_base = executor.slice_hits
     handle = open_campaign(journal, golden, domain, "brute-force",
                            _executor_params(executor))
     completed = {}
@@ -321,6 +351,8 @@ def run_brute_force(golden: GoldenRun, *,
             report.executed += 1
         if progress is not None:
             progress(slot, golden.cycles)
+    report.convergence_hits = executor.convergence_hits - hits_base
+    report.slice_hits = executor.slice_hits - slice_base
     if handle is not None:
         handle.mark_complete()
     return BruteForceResult(golden=golden, outcomes=outcomes,
@@ -403,6 +435,7 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                  sampler: str = "uniform",
                  partition=None,
                  executor: ExperimentExecutor | None = None,
+                 config: ExecutorConfig | None = None,
                  progress: ProgressCallback | None = None,
                  jobs: int | None = None,
                  domain: FaultDomain | str = MEMORY,
@@ -414,7 +447,7 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
     ``progress`` is called as each distinct (class, bit) experiment key
     the drawn samples require is resolved — executed fresh or loaded
     from the journal — with ``(done, total)`` over those keys.  ``jobs``,
-    ``domain``, ``journal`` and ``resume`` behave as in
+    ``domain``, ``config``, ``journal`` and ``resume`` behave as in
     :func:`run_full_scan`.  The journal additionally records the
     sampler's RNG position: resuming with a different seed, sampler or
     sample count raises
@@ -423,13 +456,14 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
     domain = get_domain(domain)
     if jobs is not None:
         return _parallel_campaign(golden, jobs, executor, domain,
-                                  policy).run_sampling(
+                                  policy, config).run_sampling(
             n_samples, seed=seed, sampler=sampler, partition=partition,
             progress=progress, journal=journal, resume=resume)
     if partition is None:
         partition = domain.build_partition(golden)
-    if executor is None:
-        executor = ExperimentExecutor(golden, domain=domain)
+    executor = _build_executor(golden, executor, config, domain)
+    hits_base = executor.convergence_hits
+    slice_base = executor.slice_hits
 
     handle = open_campaign(
         journal, golden, domain, "sampling",
@@ -486,6 +520,8 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                 progress(len(cache), total_experiments)
         outcome_by_index[i] = cache[key]
     report.total_units = len(cache)
+    report.convergence_hits = executor.convergence_hits - hits_base
+    report.slice_hits = executor.slice_hits - slice_base
     if handle is not None:
         handle.mark_complete()
     results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]

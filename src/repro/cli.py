@@ -16,6 +16,9 @@ Commands:
     same journal resumes where it left off (``--fresh`` discards the
     journaled campaign first).  ``--shard-timeout`` / ``--max-retries``
     tune the parallel engine's robustness policy.
+    ``--no-convergence`` / ``--checkpoint-stride`` control the
+    convergence early-exit (a pure optimization; outcomes are identical
+    either way).
 ``resume --journal PATH [<program>]``
     Without a program: list the campaigns the journal holds and their
     progress.  With a program: continue its journaled campaign — the
@@ -50,6 +53,7 @@ from .analysis import (
 )
 from .campaign import (
     CampaignSummary,
+    ExecutorConfig,
     ExperimentJournal,
     RetryPolicy,
     record_golden,
@@ -135,24 +139,28 @@ def _print_execution(execution) -> None:
     if execution is None:
         return
     if (execution.resumed or execution.timed_out_shards
-            or execution.shard_retries or not execution.complete):
+            or execution.shard_retries or execution.convergence_hits
+            or execution.slice_hits or not execution.complete):
         print(completeness_report(execution))
 
 
 def cmd_scan(args) -> None:
     program = _resolve(args.program)
     domain = get_domain(args.domain)
-    golden = record_golden(program)
+    golden = record_golden(
+        program, checkpoint_stride=getattr(args, "checkpoint_stride", None))
     space = domain.fault_space(golden)
     resume = not getattr(args, "fresh", False)
     policy = _scan_policy(args)
+    config = ExecutorConfig(
+        use_convergence=not getattr(args, "no_convergence", False))
     print(f"{program.name} [{domain.name} domain]: "
           f"Δt={golden.cycles} cycles, w={space.size}")
     if args.samples:
         result = run_sampling(golden, args.samples, seed=args.seed,
                               sampler=args.sampler, jobs=args.jobs,
                               domain=domain, journal=args.journal,
-                              resume=resume, policy=policy,
+                              resume=resume, policy=policy, config=config,
                               progress=_eta_progress("experiments"))
         _print_execution(result.execution)
         scale = result.population / result.n_samples
@@ -168,7 +176,7 @@ def cmd_scan(args) -> None:
         return
     scan = run_full_scan(golden, jobs=args.jobs, domain=domain,
                          journal=args.journal, resume=resume,
-                         policy=policy,
+                         policy=policy, config=config,
                          progress=_eta_progress("classes"))
     _print_execution(scan.execution)
     print(outcome_histogram(scan))
@@ -277,6 +285,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resubmissions per shard after a worker "
                               "death before degrading to a partial "
                               "result (default: 2)")
+        cmd.add_argument("--no-convergence", action="store_true",
+                         help="disable the convergence early-exit "
+                              "(classify every post-injection tail by "
+                              "running it to completion; outcomes are "
+                              "identical either way)")
+        cmd.add_argument("--checkpoint-stride", type=int, default=None,
+                         metavar="K",
+                         help="golden checkpoint-digest stride in cycles "
+                              "(default: auto-tuned from the runtime; "
+                              "0 disables the ladder)")
 
     scan = sub.add_parser("scan", help="full fault-space scan")
     scan.add_argument("program")

@@ -21,6 +21,7 @@ from .registers import (
     register_reads,
     register_writes,
 )
+from .slicing import CriticalityMap, backward_slice
 from .sampling import (
     BiasedClassSampler,
     LiveOnlySampler,
@@ -46,8 +47,10 @@ __all__ = [
     "register_reads",
     "register_writes",
     "ByteInterval",
+    "CriticalityMap",
     "DEAD",
     "DefUsePartition",
+    "backward_slice",
     "FaultCoordinate",
     "FaultSpace",
     "LIVE",

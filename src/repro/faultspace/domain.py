@@ -96,6 +96,19 @@ class FaultDomain:
         """Apply the fault to a machine paused at the injection slot."""
         raise NotImplementedError
 
+    # -- criticality ----------------------------------------------------------
+
+    def cell_critical(self, criticality, coordinate) -> bool:
+        """Can the fault at ``coordinate`` ever influence the outcome?
+
+        Queries a :class:`~.slicing.CriticalityMap` at the *point* the
+        coordinate corrupts — the state after ``slot - 1`` instructions,
+        visible to the ``slot``-th.  ``False`` is a proof that the
+        experiment's outcome is exactly the golden outcome (see the
+        soundness argument in :mod:`repro.faultspace.slicing`).
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FaultDomain {self.name!r}>"
 
@@ -129,6 +142,11 @@ class MemoryDomain(FaultDomain):
 
     def inject(self, machine, coordinate: FaultCoordinate) -> None:
         machine.flip_bit(coordinate.addr, coordinate.bit)
+
+    def cell_critical(self, criticality,
+                      coordinate: FaultCoordinate) -> bool:
+        return criticality.byte_critical(coordinate.slot - 1,
+                                         coordinate.addr)
 
 
 class RegisterDomain(FaultDomain):
@@ -164,6 +182,11 @@ class RegisterDomain(FaultDomain):
 
     def inject(self, machine, coordinate: RegisterFaultCoordinate) -> None:
         machine.flip_register_bit(coordinate.reg, coordinate.bit)
+
+    def cell_critical(self, criticality,
+                      coordinate: RegisterFaultCoordinate) -> bool:
+        return criticality.reg_critical(coordinate.slot - 1,
+                                        coordinate.reg)
 
 
 #: The two built-in domains, as shared stateless singletons.

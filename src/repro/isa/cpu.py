@@ -18,6 +18,8 @@ executes; injecting at slot ``t`` therefore means running to
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hashlib import blake2b
+from struct import Struct
 
 from .assembler import Program
 from .errors import (
@@ -29,6 +31,36 @@ from .errors import (
 )
 from .isa import Instruction, NUM_REGS, Op, WORD_MASK, signed32
 from .tracing import MemoryTrace, READ, WRITE
+
+#: Register file + pc + serial length, packed for hashing.
+_DIGEST_TAIL = Struct(f"<{NUM_REGS}III")
+#: Digest width in bytes.  128 bits: collisions are negligible even
+#: across the billions of checkpoint comparisons a campaign performs,
+#: which matters because a colliding digest would silently misclassify
+#: an experiment.
+DIGEST_SIZE = 16
+
+
+def state_digest(ram, regs, pc: int, serial_len: int) -> bytes:
+    """Deterministic digest of the machine state that drives execution.
+
+    Covers exactly the mutable state a deterministic continuation
+    depends on: RAM, the register file, the program counter and the
+    *length* of the serial output.  Serial content is deliberately
+    excluded — output never feeds back into execution — and so are the
+    cycle counter, the halt flag and past ``detect`` events, which the
+    convergence machinery accounts for separately.
+
+    blake2b (not ``hash()``) because the digest must agree across
+    processes: the golden ladder is computed in the campaign driver and
+    compared against digests computed inside pool workers, and Python's
+    built-in hashing is salted per process.
+    """
+    h = blake2b(bytes(ram) if not isinstance(ram, (bytes, bytearray))
+                else ram, digest_size=DIGEST_SIZE)
+    h.update(_DIGEST_TAIL.pack(*regs, pc & WORD_MASK,
+                               serial_len & WORD_MASK))
+    return h.digest()
 
 
 @dataclass(frozen=True)
@@ -47,6 +79,10 @@ class MachineState:
     serial: bytes
     detections: tuple
     diverged: bool = False
+
+    def state_digest(self) -> bytes:
+        """Digest of the snapshot's execution-relevant state."""
+        return state_digest(self.ram, self.regs, self.pc, len(self.serial))
 
 
 class Machine:
@@ -100,6 +136,16 @@ class Machine:
         self.diverged = False
         self.serial = bytearray()
         self.detections: list[tuple[int, int]] = []
+        # Bind the memory accessors for this machine's tracing mode once,
+        # instead of testing ``self.tracer is not None`` on every load and
+        # store of the campaign hot loop (tracing is only ever on during
+        # golden recording — one run per campaign).
+        if self.tracer is None:
+            self._load = self._load_raw
+            self._store = self._store_raw
+        else:
+            self._load = self._load_traced
+            self._store = self._store_traced
 
     def snapshot(self) -> MachineState:
         """Capture all mutable state for later :meth:`restore`."""
@@ -124,6 +170,16 @@ class Machine:
         self.diverged = state.diverged
         self.serial = bytearray(state.serial)
         self.detections = list(state.detections)
+
+    def state_digest(self) -> bytes:
+        """Digest of the current execution-relevant state.
+
+        Two machines of the same program with equal digests at equal
+        cycle counts (and neither halted) execute identical instruction
+        suffixes — the foundation of the campaign layer's convergence
+        early-exit.  See :func:`state_digest` for what is covered.
+        """
+        return state_digest(self.ram, self.regs, self.pc, len(self.serial))
 
     # -- fault injection -----------------------------------------------------
 
@@ -257,7 +313,11 @@ class Machine:
 
     # -- memory --------------------------------------------------------------
 
-    def _load(self, addr: int, width: int) -> int:
+    # ``self._load`` / ``self._store`` are bound per instance in
+    # :meth:`reset` to the raw or traced variant, so untraced campaign
+    # runs never pay the tracer test.
+
+    def _load_raw(self, addr: int, width: int) -> int:
         if addr % width:
             raise AlignmentFault(
                 f"unaligned {width}-byte load at {addr:#x}",
@@ -266,11 +326,14 @@ class Machine:
             raise MemoryFault(
                 f"load of {width} bytes at {addr:#x} outside RAM",
                 pc=self.pc - 1, cycle=self.cycle)
-        if self.tracer is not None:
-            self.tracer.record(self.cycle + 1, addr, width, READ)
         return int.from_bytes(self.ram[addr: addr + width], "little")
 
-    def _store(self, addr: int, width: int, value: int) -> None:
+    def _load_traced(self, addr: int, width: int) -> int:
+        value = self._load_raw(addr, width)
+        self.tracer.record(self.cycle + 1, addr, width, READ)
+        return value
+
+    def _store_raw(self, addr: int, width: int, value: int) -> None:
         if addr % width:
             raise AlignmentFault(
                 f"unaligned {width}-byte store at {addr:#x}",
@@ -279,9 +342,11 @@ class Machine:
             raise MemoryFault(
                 f"store of {width} bytes at {addr:#x} outside RAM",
                 pc=self.pc - 1, cycle=self.cycle)
-        if self.tracer is not None:
-            self.tracer.record(self.cycle + 1, addr, width, WRITE)
         self.ram[addr: addr + width] = value.to_bytes(width, "little")
+
+    def _store_traced(self, addr: int, width: int, value: int) -> None:
+        self._store_raw(addr, width, value)
+        self.tracer.record(self.cycle + 1, addr, width, WRITE)
 
     # -- instruction semantics ------------------------------------------------
 

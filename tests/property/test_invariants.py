@@ -22,6 +22,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.campaign import (
+    ExecutorConfig,
     record_golden,
     run_brute_force,
     run_full_scan,
@@ -153,6 +154,32 @@ class TestSamplingInvariants:
                 sample.coordinate.bit)
             assert outcome == scan.outcome_of(representative)
         assert result.experiments_conducted <= n
+
+
+class TestConvergenceInvariant:
+    @SETTINGS
+    @given(golden=programs(), domain=domains)
+    def test_early_exit_changes_no_outcome(self, golden, domain):
+        """Convergence detection (ladder + masked probes + criticality
+        pre-skip) is pure speed: with it on or off, the full scan is
+        identical — results, records, CSV bytes."""
+        on = run_full_scan(golden, domain=domain, keep_records=True,
+                           config=ExecutorConfig(use_convergence=True))
+        off = run_full_scan(golden, domain=domain, keep_records=True,
+                            config=ExecutorConfig(use_convergence=False))
+        assert on == off
+        assert off.execution.convergence_hits == 0
+        assert off.execution.slice_hits == 0
+
+    @SETTINGS
+    @given(golden=programs(), domain=domains,
+           seed=st.integers(0, 2**32 - 1))
+    def test_early_exit_changes_no_sample(self, golden, domain, seed):
+        on = run_sampling(golden, 40, seed=seed, domain=domain,
+                          config=ExecutorConfig(use_convergence=True))
+        off = run_sampling(golden, 40, seed=seed, domain=domain,
+                           config=ExecutorConfig(use_convergence=False))
+        assert on == off
 
 
 class TestResumeProperty:
