@@ -14,18 +14,50 @@ as a benchmark module.
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 #: Repository root — the parent of the ``benchmarks/`` directory.
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def _git_sha() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        return proc.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def provenance() -> dict:
+    """Commit and wall-clock identity of one benchmark run.
+
+    Every ``BENCH_*.json`` carries this block so a perf number can be
+    traced to the exact tree and time that produced it — two artifacts
+    are only comparable when their ``git_sha`` differs and nothing else
+    about the machine does.
+    """
+    return {
+        "git_sha": _git_sha(),
+        "written_at": datetime.now(timezone.utc)
+        .isoformat(timespec="seconds"),
+    }
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Write ``payload`` to ``<repo-root>/BENCH_<name>.json``.
 
     Keys are sorted and floats should be pre-rounded by the caller so
-    diffs between runs stay readable.  Returns the written path.
+    diffs between runs stay readable.  A ``provenance`` block (git SHA
+    + UTC timestamp) is always stamped, overwriting any caller-supplied
+    one so re-running an old artifact cannot keep a stale identity.
+    Returns the written path.
     """
     path = REPO_ROOT / f"BENCH_{name}.json"
+    payload = dict(payload)
+    payload["provenance"] = provenance()
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

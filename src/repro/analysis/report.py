@@ -128,6 +128,11 @@ def completeness_report(report: ExecutionReport) -> str:
     if report.failed_shards:
         lines.append(f"  shards abandoned after retry budget: "
                      f"{report.failed_shards}")
+    if report.workers:
+        attribution = ", ".join(f"{name}: {units}"
+                                for name, units in report.workers)
+        lines.append(f"  distributed across {len(report.workers)} "
+                     f"worker(s) — {attribution}")
     if report.complete:
         lines.append("  complete: all planned units accounted for")
     else:

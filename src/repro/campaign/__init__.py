@@ -21,6 +21,7 @@ from .journal import (
     JournalError,
     JournalMismatchError,
 )
+from .dist import DistCoordinator, DistWorker, run_distributed_scan
 from .parallel import ParallelCampaign, RetryPolicy, resolve_jobs
 from .golden import (
     DEFAULT_GOLDEN_CYCLE_LIMIT,
@@ -66,6 +67,8 @@ __all__ = [
     "DEFAULT_GOLDEN_CYCLE_LIMIT",
     "DEFAULT_TIMEOUT_FACTOR",
     "DEFAULT_TIMEOUT_SLACK",
+    "DistCoordinator",
+    "DistWorker",
     "ExecutionReport",
     "ExecutorConfig",
     "ExperimentExecutor",
@@ -98,6 +101,7 @@ __all__ = [
     "program_fingerprint",
     "record_golden",
     "run_brute_force",
+    "run_distributed_scan",
     "run_full_scan",
     "run_sampling",
 ]

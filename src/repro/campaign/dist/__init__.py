@@ -1,0 +1,46 @@
+"""Distributed campaign fabric: lease-based multi-host fault injection.
+
+A coordinator process owns the SQLite experiment journal and hands out
+*work leases* — shards of the same cost-balanced class plan the
+in-process pool computes — to worker processes over TCP.  Workers
+re-verify the golden run before executing (a stale checkout can never
+pollute results), stream per-class results back, and heartbeat; the
+coordinator reassigns expired leases with exponential backoff and a
+retry budget, merges duplicate submissions idempotently through the
+journal keys, and degrades permanently lost shards into
+:class:`~repro.campaign.journal.ExecutionReport` completeness
+accounting.  The result is bit-for-bit identical to a serial run —
+see :mod:`repro.campaign.dist.coordinator` for the argument.
+
+Everything is stdlib (``socket``, ``asyncio``, ``json``); there is no
+new dependency and no pickle on the wire.
+"""
+
+from .coordinator import DistCoordinator, run_distributed_scan
+from .leases import LeaseBoard, ShardLease
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameStream,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from .worker import DistWorker, WorkerRejected
+
+__all__ = [
+    "DistCoordinator",
+    "DistWorker",
+    "FrameStream",
+    "LeaseBoard",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ShardLease",
+    "WorkerRejected",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "run_distributed_scan",
+    "write_frame",
+]

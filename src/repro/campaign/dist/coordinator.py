@@ -1,0 +1,554 @@
+"""Campaign coordinator: owns the journal, leases shards to workers.
+
+One coordinator process runs the distributed campaign.  It records the
+golden run, plans the same contiguous cost-balanced shards the
+in-process pool would (:func:`~repro.campaign.parallel.plan_class_shards`
+over the *full* live-class list, so shard indices are stable across
+coordinator restarts), and serves a TCP endpoint where workers pull
+:class:`~.leases.ShardLease` grants and stream per-class results back.
+
+**Why the result is bit-for-bit identical to a serial run.**  Every
+experiment is a deterministic function of the golden run and its fault
+coordinate; workers prove they compute the same function by rebuilding
+the program from shipped source and matching both the content
+fingerprint and the golden cycle count before they may execute.  A class
+result therefore has exactly one possible value no matter which worker
+produces it, or how many times.  Delivery is at-least-once (lease
+expiry, reconnects and retransmits can all duplicate submissions);
+accounting is exactly-once because every submission funnels through
+:meth:`~repro.campaign.journal.CampaignJournal.merge_class`, which
+accepts only the first copy.  Assembly then walks the live classes in
+canonical (serial) iteration order, reading the journal — the same
+merge the resume path performs — so ``class_outcomes``, record lists
+and every derived count are independent of worker count, scheduling,
+chaos and restarts.
+
+**Failure handling** is delegated to the :class:`~.leases.LeaseBoard`:
+expired or orphaned leases are re-queued with exponential backoff and a
+retry budget; shards that exhaust it degrade into
+``ExecutionReport.missing`` instead of hanging the campaign.  The
+coordinator itself is restartable: results and lease retry state are
+journaled as they arrive, so a new coordinator pointed at the same
+journal resumes with only in-flight work lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Callable
+
+from ...faultspace.domain import FaultDomain, MEMORY, get_domain
+from ..database import program_fingerprint
+from ..experiment import ExecutorConfig, ExperimentRecord
+from ..golden import GoldenRun
+from ..journal import (
+    CampaignJournal,
+    ExecutionReport,
+    ExperimentJournal,
+    open_campaign,
+)
+from ..parallel import RetryPolicy, class_cost, plan_class_shards
+from .leases import FAILED, LeaseBoard
+from .protocol import PROTOCOL_VERSION, ProtocolError, read_frame, write_frame
+
+ProgressCallback = Callable[[int, int], None]
+
+#: Default shard count: finer than one-per-worker so a lost node's work
+#: re-distributes across the survivors instead of doubling one of them.
+DEFAULT_SHARDS = 8
+
+
+def _canonical_keys(keys) -> str:
+    """Deterministic JSON identity of a shard's planned key list."""
+    return json.dumps([list(key) for key in keys],
+                      separators=(",", ":"))
+
+
+class DistCoordinator:
+    """Serve one full-scan campaign to TCP workers.
+
+    ``shards`` fixes the lease granularity (finer shards rebalance
+    better after node loss; coarser ones amortize more snapshot
+    fast-forwarding).  ``journal`` is where results and lease state
+    persist — pass a real path to make the coordinator restartable;
+    ``None`` journals to a private in-memory database, which still
+    provides the idempotent-merge funnel but not crash tolerance.
+
+    ``stop_after_results`` is a test hook: the coordinator abruptly
+    drops every connection and returns ``None`` after accepting that
+    many fresh class results, simulating a coordinator crash mid-flight
+    (the journal keeps everything accepted so far).
+    """
+
+    def __init__(self, golden: GoldenRun, *,
+                 domain: FaultDomain | str = MEMORY,
+                 executor_config: ExecutorConfig | None = None,
+                 policy: RetryPolicy | None = None,
+                 shards: int = DEFAULT_SHARDS,
+                 journal=None, resume: bool = True,
+                 keep_records: bool = False,
+                 progress: ProgressCallback | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 sock: socket.socket | None = None,
+                 stop_after_results: int | None = None):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.golden = golden
+        self.domain = get_domain(domain)
+        config = executor_config or ExecutorConfig()
+        self.config = dataclasses.replace(config, domain=self.domain.name)
+        self.policy = policy or RetryPolicy()
+        self.shards = shards
+        self.journal = journal
+        self.resume = resume
+        self.keep_records = keep_records
+        self.progress = progress
+        self.host = host
+        self.port = port
+        self._sock = sock
+        self.stop_after_results = stop_after_results
+        #: ``(host, port)`` actually bound, set once serving.
+        self.address: tuple[str, int] | None = None
+        self.stopped = False
+        self.report = ExecutionReport()
+        self._worker_units: Counter = Counter()
+        self._accepted = 0
+        self._writers: dict[str, asyncio.StreamWriter] = {}
+        self._conn_tasks: set = set()
+        self._last_seen: dict[str, float] = {}
+        self._lease_cache: dict[int, tuple] = {}
+
+    # -- identity shipped to workers -------------------------------------------
+
+    def _journal_params(self) -> dict:
+        """Same campaign key as the serial and pool engines, so one
+        journal resumes under any of the three."""
+        return {
+            "timeout_cycles": self.config.timeout_cycles(self.golden.cycles),
+            "early_stop": self.config.early_stop,
+        }
+
+    def _campaign_message(self) -> dict:
+        program = self.golden.program
+        return {
+            "type": "campaign",
+            "version": PROTOCOL_VERSION,
+            "program": {
+                "name": program.name,
+                "source": program.source,
+                "ram_size": program.ram_size,
+            },
+            "fingerprint": program_fingerprint(program),
+            "cycles": self.golden.cycles,
+            "config": dataclasses.asdict(self.config),
+        }
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def run(self):
+        """Serve until the campaign finishes; return its result.
+
+        Returns the same :class:`~repro.campaign.runner.CampaignResult`
+        a serial run would, or ``None`` when the ``stop_after_results``
+        crash hook fired.
+        """
+        return asyncio.run(self._main())
+
+    async def _main(self):
+        golden = self.golden
+        domain = self.domain
+        partition = domain.build_partition(golden)
+        # The journal connection must be created in the serving thread
+        # (sqlite3 objects are thread-affine) — hence here, not __init__.
+        owned = None
+        journal = self.journal
+        if journal is None:
+            journal = owned = ExperimentJournal(":memory:")
+        handle = open_campaign(journal, golden, domain, "full-scan",
+                               self._journal_params())
+        try:
+            if not self.resume:
+                handle.clear()
+            return await self._serve(handle, partition)
+        finally:
+            if owned is not None:
+                owned.close()
+
+    async def _serve(self, handle: CampaignJournal, partition):
+        golden, domain = self.golden, self.domain
+        completed = handle.completed_classes()
+        live = partition.live_classes()  # sorted by injection slot
+        # Plan over the FULL live list: indices and key lists are then a
+        # pure function of the campaign, stable across restarts, and the
+        # journaled per-shard retry state stays meaningful.
+        planned, _ = plan_class_shards(live, golden.cycles,
+                                       bits=domain.bits, parts=self.shards)
+        key_costs = {domain.class_key(interval):
+                     class_cost(interval, golden.cycles, bits=domain.bits)
+                     for interval in live}
+        board = LeaseBoard(policy=self.policy, key_costs=key_costs)
+        journaled_leases = handle.lease_states()
+        for index, shard in enumerate(planned):
+            keys = [domain.class_key(interval) for interval in shard]
+            board.add_shard(index, keys,
+                            [key for key in keys if key not in completed])
+            stored = journaled_leases.get(index)
+            if stored is not None and stored["keys"] == _canonical_keys(keys):
+                # Same plan as the journaled run: carry the retry budget
+                # across the restart.  A different --shards (different
+                # key list) invalidates the stored state instead.
+                board.restore(index, attempts=stored["attempts"],
+                              status=stored["status"])
+        self.board = board
+        self.handle = handle
+        self.report = ExecutionReport(
+            total_units=len(live),
+            resumed=len(completed))
+        self._done_total = len(live)
+        self._done_count = self.report.resumed
+        self._done = asyncio.Event()
+        self._journal_leases()
+        self._maybe_finish()
+
+        if self._sock is not None:
+            server = await asyncio.start_server(self._handle_worker,
+                                                sock=self._sock)
+        else:
+            server = await asyncio.start_server(self._handle_worker,
+                                                host=self.host,
+                                                port=self.port)
+        self.address = server.sockets[0].getsockname()[:2]
+        watchdog = asyncio.create_task(self._watchdog())
+        try:
+            await self._done.wait()
+        finally:
+            watchdog.cancel()
+            if not self.stopped:
+                # Orderly end: tell every connected worker before the
+                # transports close, so they exit instead of reconnecting.
+                for writer in list(self._writers.values()):
+                    try:
+                        write_frame(writer, {"type": "done"})
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+            server.close()
+            await server.wait_closed()
+            # Give sessions a moment to finish their own done/drain
+            # handshakes first — closing a transport under a worker
+            # that has not read its done frame yet risks a reset that
+            # discards it.  Then close whatever is left.
+            if self._conn_tasks:
+                await asyncio.wait(self._conn_tasks, timeout=2.0)
+            for writer in list(self._writers.values()):
+                writer.close()
+            # Let tasks stuck on now-closed transports return before the
+            # loop shuts down (else asyncio logs their cancellation).
+            if self._conn_tasks:
+                await asyncio.wait(self._conn_tasks, timeout=2.0)
+        if self.stopped:
+            return None
+        return self._assemble(partition, live)
+
+    async def _watchdog(self):
+        while True:
+            await asyncio.sleep(self.policy.poll_interval)
+            if self.board.expire(time.monotonic()):
+                self._journal_leases()
+            self._maybe_finish()
+
+    # -- per-connection protocol ------------------------------------------------
+
+    async def _handle_worker(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter):
+        name = None
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            conn = writer.get_extra_info("socket")
+            if conn is not None:
+                # Lease grants and done frames are tiny; don't let
+                # Nagle batch them behind the workers' backs.
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = await read_frame(reader)
+            if hello is None or hello.get("type") != "hello":
+                return
+            if hello.get("version") != PROTOCOL_VERSION:
+                write_frame(writer, {
+                    "type": "reject",
+                    "reason": f"protocol version {hello.get('version')} != "
+                              f"{PROTOCOL_VERSION}"})
+                await writer.drain()
+                return
+            name = str(hello.get("name") or "worker")
+            if name in self._writers:
+                # Two live connections must not share an identity: lease
+                # accounting is per worker name.
+                name = f"{name}#{id(writer) & 0xffff:04x}"
+            self._writers[name] = writer
+            self._last_seen[name] = time.monotonic()
+            write_frame(writer, self._campaign_message())
+            await writer.drain()
+            ready = await read_frame(reader)
+            if ready is None or ready.get("type") != "ready":
+                # "error" carries the worker's verification diagnostic
+                # (stale checkout); nothing to grant either way.
+                return
+            await self._session(name, reader, writer)
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            if name is not None:
+                self._writers.pop(name, None)
+                # On the simulated-crash path connections die *without*
+                # lease bookkeeping, exactly as a killed process would.
+                if not self.stopped:
+                    if self.board.release_worker(name, time.monotonic()):
+                        self._journal_leases()
+                    self._maybe_finish()
+            writer.close()
+
+    async def _session(self, name: str, reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter):
+        while not self._done.is_set():
+            frame = await read_frame(reader)
+            if frame is None:
+                return
+            kind = frame.get("type")
+            now = time.monotonic()
+            self._last_seen[name] = now
+            if kind == "request":
+                grant = self.board.acquire(name, now)
+                if grant is None:
+                    write_frame(writer, {"type": "done"})
+                elif isinstance(grant, float):
+                    write_frame(writer, {"type": "wait", "seconds": grant})
+                else:
+                    self._journal_leases()
+                    write_frame(writer, {
+                        "type": "lease", "lease": grant.lease_id,
+                        "shard": grant.shard,
+                        "keys": [list(key) for key in grant.keys]})
+                await writer.drain()
+            elif kind == "result":
+                self._accept_result(name, frame, now)
+            elif kind == "lease_done":
+                self.board.finish(int(frame["shard"]), int(frame["lease"]),
+                                  now)
+                self._journal_leases()
+                self._maybe_finish()
+            elif kind == "heartbeat":
+                pass  # liveness only — progress, not heartbeats,
+                #       extends lease deadlines
+            else:
+                raise ProtocolError(f"unexpected {kind!r} from {name!r}")
+        # This session saw the campaign finish (often because its own
+        # result finished it).  Tell the worker before the connection
+        # closes — the serve loop's broadcast cannot reach it once this
+        # handler's cleanup has unregistered the writer.
+        if not self.stopped:
+            write_frame(writer, {"type": "done"})
+            await writer.drain()
+            # Then read until the worker hangs up.  Closing while its
+            # pipelined frames (the next request, a heartbeat) sit
+            # unread would reset the connection, and a reset can
+            # destroy the done frame before the worker reads it —
+            # leaving it reconnecting against a dead port forever.
+            try:
+                async def _drain():
+                    while await read_frame(reader) is not None:
+                        pass
+                await asyncio.wait_for(_drain(), timeout=2.0)
+            except (TimeoutError, asyncio.TimeoutError, ProtocolError,
+                    ConnectionError, OSError):
+                pass
+
+    def _accept_result(self, name: str, frame: dict, now: float) -> None:
+        axis, first_slot = (int(v) for v in frame["key"])
+        rows = [(int(bit), str(outcome), int(end_cycle), str(trap))
+                for bit, outcome, end_cycle, trap in frame["rows"]]
+        shard = int(frame["shard"])
+        self.board.progress(shard, (axis, first_slot), now)
+        if self.handle.merge_class(axis, first_slot, rows):
+            # First delivery: count it, and credit the worker.  Late or
+            # duplicate copies (expired lease, retransmit) fall through —
+            # the journal already holds the identical rows.
+            self.report.executed += 1
+            self.report.convergence_hits += int(frame.get("hits", 0))
+            self.report.slice_hits += int(frame.get("skips", 0))
+            self._worker_units[name] += 1
+            self._done_count += 1
+            self._accepted += 1
+            if self.progress is not None:
+                self.progress(self._done_count, self._done_total)
+            if (self.stop_after_results is not None
+                    and self._accepted >= self.stop_after_results):
+                self.stopped = True
+                self._done.set()
+                return
+        self._maybe_finish()
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _journal_leases(self) -> None:
+        """Persist per-shard retry state (only rows that changed)."""
+        for shard in self.board.shards():
+            worker = shard.lease.worker if shard.lease is not None else ""
+            state = (shard.attempts, shard.status, worker)
+            if self._lease_cache.get(shard.index) == state:
+                continue
+            self._lease_cache[shard.index] = state
+            self.handle.record_lease(
+                shard.index, _canonical_keys(shard.keys),
+                attempts=shard.attempts, status=shard.status, worker=worker)
+
+    def _maybe_finish(self) -> None:
+        if not self._done.is_set() and self.board.done():
+            self._done.set()
+
+    def _assemble(self, partition, live):
+        """Merge the journal into a serial-identical CampaignResult."""
+        from ..runner import CampaignResult
+
+        domain = self.domain
+        merged = self.handle.completed_classes()
+        class_outcomes = {}
+        records: list[ExperimentRecord] = []
+        missing = []
+        for interval in live:
+            key = domain.class_key(interval)
+            if key not in merged:
+                missing.append(key)
+                continue
+            rows = merged[key]
+            class_outcomes[key] = tuple(outcome for _, outcome, _, _ in rows)
+            if self.keep_records:
+                coords = interval.experiments()
+                records.extend(
+                    ExperimentRecord(coordinate=coords[bit], outcome=outcome,
+                                     end_cycle=end_cycle, trap=trap)
+                    for bit, outcome, end_cycle, trap in rows)
+        report = self.report
+        report.missing = tuple(missing)
+        report.shard_retries = self.board.retries
+        report.failed_shards = self.board.failed_shards
+        report.workers = tuple(sorted(self._worker_units.items()))
+        if report.complete:
+            self.handle.mark_complete()
+        else:
+            # Failed shards are final state worth keeping queryable.
+            self._journal_leases()
+        return CampaignResult(golden=self.golden, partition=partition,
+                              class_outcomes=class_outcomes, records=records,
+                              domain=domain, execution=report)
+
+
+# -- one-shot convenience -------------------------------------------------------
+
+
+def _free_server_socket(host: str) -> socket.socket:
+    return socket.create_server((host, 0))
+
+
+def run_distributed_scan(golden: GoldenRun, *, workers: int = 2,
+                         domain: FaultDomain | str = MEMORY,
+                         executor_config: ExecutorConfig | None = None,
+                         policy: RetryPolicy | None = None,
+                         shards: int = DEFAULT_SHARDS,
+                         journal=None, resume: bool = True,
+                         keep_records: bool = False,
+                         progress: ProgressCallback | None = None,
+                         host: str = "127.0.0.1",
+                         worker_env: dict | None = None):
+    """Run a distributed full scan with locally spawned workers.
+
+    Convenience wrapper for single-machine use (and the CLI's
+    ``scan --dist N``): binds an ephemeral port, spawns ``workers``
+    subprocesses running ``python -m repro worker``, and serves the
+    coordinator in the calling thread.  Real multi-host campaigns start
+    ``repro coordinator`` and ``repro worker`` by hand instead.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    sock = _free_server_socket(host)
+    port = sock.getsockname()[1]
+    coordinator = DistCoordinator(
+        golden, domain=domain, executor_config=executor_config,
+        policy=policy, shards=shards, journal=journal, resume=resume,
+        keep_records=keep_records, progress=progress, sock=sock)
+    import repro
+
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    if worker_env:
+        env.update(worker_env)
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker",
+             "--connect", f"{host}:{port}", "--name", f"worker-{index}"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for index in range(workers)]
+    try:
+        return coordinator.run()
+    finally:
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+
+def serve_in_thread(coordinator: DistCoordinator) -> "CoordinatorThread":
+    """Run a coordinator on a background thread (used by tests)."""
+    thread = CoordinatorThread(coordinator)
+    thread.start()
+    return thread
+
+
+class CoordinatorThread(threading.Thread):
+    """Thread wrapper capturing the coordinator's result or exception."""
+
+    def __init__(self, coordinator: DistCoordinator):
+        super().__init__(daemon=True)
+        self.coordinator = coordinator
+        self.result = None
+        self.error: BaseException | None = None
+
+    def run(self) -> None:  # noqa: D102 - Thread API
+        try:
+            self.result = self.coordinator.run()
+        except BaseException as exc:  # captured for the joining test
+            self.error = exc
+
+    def join_result(self, timeout: float | None = None):
+        self.join(timeout)
+        if self.is_alive():
+            raise TimeoutError("coordinator thread did not finish")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "CoordinatorThread",
+    "DistCoordinator",
+    "run_distributed_scan",
+    "serve_in_thread",
+    "FAILED",
+]

@@ -1,0 +1,236 @@
+"""Work leases: who may execute which shard, and for how long.
+
+The coordinator never *sends* work, it *leases* it: a shard grant
+carries a wall-clock deadline derived from the shard's remaining
+estimated cycle cost (:meth:`RetryPolicy.deadline_for`, the same
+derivation the in-process pool uses).  Liveness is measured by
+*progress*, not by heartbeats — every accepted class result refreshes
+the lease deadline against the now-smaller remaining cost, so a worker
+that keeps finishing classes keeps its lease indefinitely, while a
+wedged worker whose heartbeat thread still ticks loses the lease the
+moment its cost-derived deadline passes.
+
+Failure handling is explicit state, not exceptions:
+
+* An **expired** or **disconnected** lease releases its shard back to
+  the pending pool, charged one attempt and embargoed for
+  ``backoff * backoff_factor ** (attempts - 1)`` seconds of exponential
+  backoff.
+* A shard whose attempts exceed :attr:`RetryPolicy.max_retries` is
+  marked **failed** — permanently lost; its remaining classes surface
+  in ``ExecutionReport.missing`` instead of hanging the campaign.
+* Results are accepted from *any* lease, current or revoked: work is
+  work (experiments are deterministic), and :meth:`LeaseBoard.progress`
+  plus the journal's idempotent merge turn at-least-once delivery into
+  exactly-once accounting.
+
+The board is plain single-threaded state driven by the coordinator's
+event loop; it does no I/O and takes ``now`` as an argument, which is
+what makes the chaos tests deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..parallel import RetryPolicy
+
+#: A live class identity: ``(axis, first_slot)`` — the journal key.
+Key = tuple[int, int]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass
+class ShardLease:
+    """One grant of a shard to a worker."""
+
+    lease_id: int
+    shard: int
+    worker: str
+    #: The keys still unfinished at grant time, in execution order.
+    keys: tuple[Key, ...]
+    granted_at: float
+    deadline: float
+
+
+@dataclass
+class _Shard:
+    index: int
+    #: Full planned key list (stable across coordinator restarts).
+    keys: tuple[Key, ...]
+    #: Keys not yet accounted, in execution order.
+    remaining: list[Key]
+    attempts: int = 0
+    available_at: float = 0.0
+    status: str = PENDING
+    lease: ShardLease | None = None
+
+
+@dataclass
+class LeaseBoard:
+    """Single-writer lease state machine over one shard plan."""
+
+    policy: RetryPolicy
+    #: Per-key estimated cycle cost (drives deadline derivation).
+    key_costs: dict[Key, int]
+    #: Re-queues after an expiry or disconnect (for the report).
+    retries: int = 0
+    #: Shards abandoned after exhausting the retry budget.
+    failed_shards: int = 0
+    _shards: list[_Shard] = field(default_factory=list)
+    _next_lease_id: int = 0
+
+    def add_shard(self, index: int, keys: list[Key],
+                  remaining: list[Key]) -> None:
+        shard = _Shard(index=index, keys=tuple(keys),
+                       remaining=list(remaining))
+        if not shard.remaining:
+            shard.status = DONE
+        self._shards.append(shard)
+
+    def restore(self, index: int, *, attempts: int, status: str) -> None:
+        """Re-apply journaled retry state after a coordinator restart."""
+        shard = self._shards[index]
+        shard.attempts = attempts
+        if status == FAILED:
+            shard.status = FAILED
+        elif shard.status == PENDING and attempts:
+            # Interrupted attempts embargo the shard exactly as a live
+            # expiry would, so a crash-looping worker cannot burn the
+            # retry budget instantly after every coordinator restart.
+            self._embargo(shard, now=0.0)
+
+    # -- queries ---------------------------------------------------------------
+
+    def shards(self) -> list[_Shard]:
+        return list(self._shards)
+
+    def done(self) -> bool:
+        """True when no shard can ever produce more work."""
+        return all(s.status in (DONE, FAILED) for s in self._shards)
+
+    def failed_keys(self) -> list[Key]:
+        """Keys permanently lost, in plan order."""
+        out: list[Key] = []
+        for shard in self._shards:
+            if shard.status == FAILED:
+                out.extend(shard.remaining)
+        return out
+
+    def _remaining_cost(self, shard: _Shard) -> int:
+        return sum(self.key_costs.get(key, 1) for key in shard.remaining)
+
+    # -- transitions -----------------------------------------------------------
+
+    def acquire(self, worker: str, now: float) \
+            -> ShardLease | float | None:
+        """Grant the next assignable shard to ``worker``.
+
+        Returns a :class:`ShardLease`, or the number of seconds the
+        worker should wait before asking again (work exists but is
+        leased out or embargoed), or ``None`` when the campaign has no
+        more work at all.
+        """
+        wait: float | None = None
+        for shard in self._shards:
+            if shard.status == LEASED:
+                wait = min(wait or self.policy.heartbeat,
+                           self.policy.heartbeat)
+            elif shard.status == PENDING:
+                if shard.available_at > now:
+                    delay = shard.available_at - now
+                    wait = min(wait, delay) if wait is not None else delay
+                else:
+                    return self._grant(shard, worker, now)
+        if wait is None:
+            return None
+        return max(0.05, wait)
+
+    def _grant(self, shard: _Shard, worker: str,
+               now: float) -> ShardLease:
+        self._next_lease_id += 1
+        lease = ShardLease(
+            lease_id=self._next_lease_id, shard=shard.index,
+            worker=worker, keys=tuple(shard.remaining), granted_at=now,
+            deadline=now + self.policy.deadline_for(
+                self._remaining_cost(shard)))
+        shard.status = LEASED
+        shard.lease = lease
+        return lease
+
+    def progress(self, shard_index: int, key: Key, now: float) -> bool:
+        """Account one submitted class; False for a duplicate.
+
+        Accepts the key whether or not the submitting lease is still
+        current; refreshes the active lease's deadline against the
+        shrunken remaining cost (progress is the liveness signal).
+        """
+        shard = self._shards[shard_index]
+        try:
+            shard.remaining.remove(key)
+        except ValueError:
+            return False
+        if not shard.remaining and shard.status in (PENDING, LEASED):
+            shard.status = DONE
+            shard.lease = None
+        elif shard.lease is not None:
+            shard.lease.deadline = now + self.policy.deadline_for(
+                self._remaining_cost(shard))
+        return True
+
+    def finish(self, shard_index: int, lease_id: int, now: float) -> None:
+        """A worker claims its lease is exhausted.
+
+        Normally every key was already accounted and the shard is done;
+        a ``lease_done`` with keys still remaining means results were
+        lost in flight — treat it as a failed attempt so the remainder
+        is re-leased.
+        """
+        shard = self._shards[shard_index]
+        lease = shard.lease
+        if lease is None or lease.lease_id != lease_id:
+            return  # stale claim from a revoked lease; nothing to do
+        if shard.remaining:
+            self._charge(shard, now)
+        else:
+            shard.status = DONE
+            shard.lease = None
+
+    def release_worker(self, worker: str, now: float) -> list[int]:
+        """A worker disconnected; re-queue its active leases."""
+        released = []
+        for shard in self._shards:
+            if shard.status == LEASED and shard.lease is not None \
+                    and shard.lease.worker == worker:
+                self._charge(shard, now)
+                released.append(shard.index)
+        return released
+
+    def expire(self, now: float) -> list[int]:
+        """Revoke every lease whose deadline passed."""
+        expired = []
+        for shard in self._shards:
+            if shard.status == LEASED and shard.lease is not None \
+                    and now >= shard.lease.deadline:
+                self._charge(shard, now)
+                expired.append(shard.index)
+        return expired
+
+    def _charge(self, shard: _Shard, now: float) -> None:
+        shard.lease = None
+        shard.attempts += 1
+        if shard.attempts > self.policy.max_retries:
+            shard.status = FAILED
+            self.failed_shards += 1
+        else:
+            shard.status = PENDING
+            self.retries += 1
+            self._embargo(shard, now=now)
+
+    def _embargo(self, shard: _Shard, *, now: float) -> None:
+        shard.available_at = now + self.policy.backoff * (
+            self.policy.backoff_factor ** max(0, shard.attempts - 1))

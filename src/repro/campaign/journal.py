@@ -92,6 +92,15 @@ CREATE TABLE IF NOT EXISTS sampler_state (
     draws       INTEGER NOT NULL,
     rng_state   TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS leases (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    shard       INTEGER NOT NULL,
+    keys        TEXT NOT NULL,
+    worker      TEXT NOT NULL DEFAULT '',
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    status      TEXT NOT NULL DEFAULT 'pending',
+    PRIMARY KEY (campaign_id, shard)
+);
 """
 
 
@@ -155,6 +164,11 @@ class ExecutionReport:
     #: non-critical (the criticality pre-skip).  Like
     #: :attr:`convergence_hits`, a performance diagnostic only.
     slice_hits: int = 0
+    #: Per-worker attribution of executed work units, as sorted
+    #: ``(worker_name, units)`` pairs.  Populated by the distributed
+    #: coordinator (every unit names the worker whose submission was
+    #: accounted); empty for single-host campaigns.
+    workers: tuple = field(default_factory=tuple)
 
     @property
     def complete(self) -> bool:
@@ -181,9 +195,26 @@ class ExperimentJournal:
 
     def __init__(self, path: str | Path):
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.execute("PRAGMA busy_timeout = 5000")
-        self._conn.executescript(_SCHEMA)
+        try:
+            self._conn = sqlite3.connect(self.path)
+            self._conn.execute("PRAGMA busy_timeout = 5000")
+            # WAL keeps readers (a second `repro resume --journal` listing
+            # progress, a monitoring script) from blocking the campaign's
+            # writes, and makes each commit an append instead of a
+            # rewrite.  In-memory journals report "memory" here; that is
+            # fine — only real files need the concurrency.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+            check = self._conn.execute("PRAGMA quick_check").fetchone()
+            if check is not None and check[0] != "ok":
+                raise JournalError(
+                    f"journal {self.path!r} failed SQLite quick_check: "
+                    f"{check[0]} — the file is corrupt; move it aside "
+                    f"and restart the campaign")
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise JournalError(
+                f"journal {self.path!r} is not a usable SQLite "
+                f"database: {exc}") from exc
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'") \
             .fetchone()
@@ -291,7 +322,7 @@ class CampaignJournal:
         """Discard every journaled result of this campaign (fresh start)."""
         with self._conn:
             for table in ("class_results", "coordinate_results",
-                          "sampler_state"):
+                          "sampler_state", "leases"):
                 self._conn.execute(
                     f"DELETE FROM {table} WHERE campaign_id = ?",
                     (self.campaign_id,))
@@ -332,6 +363,57 @@ class CampaignJournal:
             out.setdefault((axis, first_slot), []).append(
                 (bit, Outcome(outcome), end_cycle, trap))
         return out
+
+    def merge_class(self, axis: int, first_slot: int,
+                    rows: Iterable[tuple[int, str, int, str]]) -> bool:
+        """Journal one class idempotently; False when already journaled.
+
+        The distributed coordinator's at-least-once delivery funnel: a
+        result submission that arrives twice — a worker whose lease
+        expired but whose TCP stream survived, a retransmit after a
+        reconnect — merges into the journal exactly once, and the
+        return value lets the caller keep its accounting exactly-once
+        too.  Experiments are deterministic, so a duplicate submission
+        necessarily carries the same rows; the first one wins.
+        """
+        row = self._conn.execute(
+            "SELECT 1 FROM class_results WHERE campaign_id = ? AND "
+            "axis = ? AND first_slot = ? LIMIT 1",
+            (self.campaign_id, axis, first_slot)).fetchone()
+        if row is not None:
+            return False
+        self.record_class(axis, first_slot, rows)
+        return True
+
+    # -- work leases ----------------------------------------------------------
+
+    def record_lease(self, shard: int, keys: str, *, attempts: int,
+                     status: str, worker: str = "") -> None:
+        """Durably record one shard lease's retry state.
+
+        ``keys`` is the canonical JSON encoding of the shard's planned
+        class keys; a restarted coordinator uses it to detect that the
+        shard plan changed (different ``--shards``) and discard stale
+        attempt counts instead of mis-applying them.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO leases (campaign_id, shard, "
+                "keys, worker, attempts, status) VALUES (?, ?, ?, ?, "
+                "?, ?)",
+                (self.campaign_id, shard, keys, worker, attempts,
+                 status))
+
+    def lease_states(self) -> dict[int, dict]:
+        """Journaled lease state per shard index."""
+        return {
+            shard: {"keys": keys, "worker": worker,
+                    "attempts": attempts, "status": status}
+            for shard, keys, worker, attempts, status in
+            self._conn.execute(
+                "SELECT shard, keys, worker, attempts, status FROM "
+                "leases WHERE campaign_id = ?", (self.campaign_id,))
+        }
 
     # -- sampled experiments --------------------------------------------------
 

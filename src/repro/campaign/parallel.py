@@ -205,6 +205,29 @@ def shard_by_cost(items: Sequence, costs: Sequence[int],
     return shards
 
 
+def plan_class_shards(intervals: Sequence, total_cycles: int, *,
+                      bits: int, parts: int) -> tuple[list, list[int]]:
+    """Plan contiguous, cost-balanced shards of live classes.
+
+    The single shard-planning step shared by every engine that
+    distributes a full scan: the in-process pool
+    (:class:`ParallelCampaign`) and the multi-host coordinator
+    (:mod:`repro.campaign.dist`) both split the same slot-sorted class
+    list with the same cost model, so a campaign journaled under one
+    engine resumes under any other and the distributed fabric inherits
+    the pool's load balance.  Returns ``(shards, costs)`` where each
+    shard is a list of intervals and ``costs[i]`` is shard *i*'s summed
+    cycle estimate (the input to
+    :meth:`RetryPolicy.deadline_for`).
+    """
+    costs = [class_cost(interval, total_cycles, bits=bits)
+             for interval in intervals]
+    shards = shard_by_cost(intervals, costs, parts)
+    shard_costs = [sum(class_cost(interval, total_cycles, bits=bits)
+                       for interval in shard) for shard in shards]
+    return shards, shard_costs
+
+
 # -- worker side --------------------------------------------------------------
 
 #: Per-worker executor, built once by :func:`_init_worker`.  Module-level
@@ -483,12 +506,9 @@ class ParallelCampaign:
         # Journaling needs end_cycle/trap, so workers must ship records
         # back even when the caller does not keep them.
         want_records = keep_records or handle is not None
-        shards = shard_by_cost(
-            todo, [class_cost(iv, golden.cycles, bits=domain.bits)
-                   for iv in todo], self.jobs)
-        costs = {index: sum(class_cost(iv, golden.cycles, bits=domain.bits)
-                            for iv in shard)
-                 for index, shard in enumerate(shards)}
+        shards, shard_costs = plan_class_shards(
+            todo, golden.cycles, bits=domain.bits, parts=self.jobs)
+        costs = dict(enumerate(shard_costs))
         tasks = [(index, (tuple(shard), want_records))
                  for index, shard in enumerate(shards)]
         timeout_cycles = self.config.timeout_cycles(golden.cycles)

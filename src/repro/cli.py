@@ -23,6 +23,20 @@ Commands:
     Without a program: list the campaigns the journal holds and their
     progress.  With a program: continue its journaled campaign — the
     same as rerunning ``scan`` with the same arguments and journal.
+``coordinator <program> [--port P] [--shards N] [--journal P]``
+    Serve a distributed full scan: workers connect over TCP, pull work
+    leases, and stream results back; the coordinator owns the journal
+    and survives worker loss (see ``repro worker``).  ``scan --dist N``
+    does the same in one command, spawning N local worker processes.
+``worker --connect HOST:PORT [--name N]``
+    Join a distributed campaign as a worker.  The worker re-assembles
+    the program from shipped source and re-verifies the golden run
+    before executing, reconnects with backoff after a coordinator
+    restart, and exits when the campaign completes.
+
+Exit codes: ``0`` success; ``3`` when a scan finished *incomplete*
+(shards abandoned after their retry budget — the printed report lists
+the missing units), so scripted campaigns can detect degraded results.
 ``fig3``
     Run the Section IV dilution experiment and print the table.
 ``fig2 [--rounds N] [--items N]``
@@ -64,6 +78,10 @@ from .campaign.runner import SAMPLERS
 from .faultspace import DOMAINS, REGISTER, get_domain
 from .metrics import weighted_coverage, weighted_failure_count
 from .programs import all_programs, bin_sem2, hi, sync2
+
+
+#: Exit status of a scan whose result is incomplete (missing units).
+EXIT_INCOMPLETE = 3
 
 
 def _jobs_arg(value: str) -> int:
@@ -140,11 +158,29 @@ def _print_execution(execution) -> None:
         return
     if (execution.resumed or execution.timed_out_shards
             or execution.shard_retries or execution.convergence_hits
-            or execution.slice_hits or not execution.complete):
+            or execution.slice_hits or execution.workers
+            or not execution.complete):
         print(completeness_report(execution))
 
 
-def cmd_scan(args) -> None:
+def _exit_status(execution) -> int:
+    """0 for a complete campaign, :data:`EXIT_INCOMPLETE` otherwise."""
+    if execution is not None and not execution.complete:
+        return EXIT_INCOMPLETE
+    return 0
+
+
+def _print_scan(scan) -> int:
+    """Print a full-scan result; return the process exit status."""
+    _print_execution(scan.execution)
+    print(outcome_histogram(scan))
+    print(f"\nweighted coverage: {100 * weighted_coverage(scan):.2f}%")
+    print(f"absolute failure count F: "
+          f"{weighted_failure_count(scan).total:.0f}")
+    return _exit_status(scan.execution)
+
+
+def cmd_scan(args) -> int:
     program = _resolve(args.program)
     domain = get_domain(args.domain)
     golden = record_golden(
@@ -173,35 +209,90 @@ def cmd_scan(args) -> None:
                   f"(extrapolated {count * scale:14.0f})")
         print(f"estimated failure count F̂: "
               f"{result.failure_count() * scale:.0f}")
-        return
+        return _exit_status(result.execution)
+    if getattr(args, "dist", None):
+        if args.jobs is not None:
+            raise SystemExit("--dist spawns its own workers; drop --jobs")
+        from .campaign.dist import run_distributed_scan
+
+        scan = run_distributed_scan(
+            golden, workers=args.dist, domain=domain,
+            executor_config=config, policy=policy, shards=args.shards,
+            journal=args.journal, resume=resume,
+            progress=_eta_progress("classes"))
+        return _print_scan(scan)
     scan = run_full_scan(golden, jobs=args.jobs, domain=domain,
                          journal=args.journal, resume=resume,
                          policy=policy, config=config,
                          progress=_eta_progress("classes"))
-    _print_execution(scan.execution)
-    print(outcome_histogram(scan))
-    print(f"\nweighted coverage: {100 * weighted_coverage(scan):.2f}%")
-    print(f"absolute failure count F: "
-          f"{weighted_failure_count(scan).total:.0f}")
+    return _print_scan(scan)
 
 
-def cmd_resume(args) -> None:
+def cmd_resume(args) -> int:
     if args.program is None:
         with ExperimentJournal(args.journal) as journal:
             campaigns = journal.campaigns()
         if not campaigns:
             print(f"journal {args.journal}: no campaigns")
-            return
+            return 0
         print(f"journal {args.journal}: {len(campaigns)} campaign(s)")
         for entry in campaigns:
             print(f"  #{entry['id']} {entry['kind']:11s} "
                   f"[{entry['domain']} domain] {entry['status']:8s} "
                   f"{entry['journaled_experiments']:8d} experiments "
                   f"journaled  fingerprint={entry['fingerprint'][:12]}")
-        return
+        return 0
     # With a program the command is a journaled scan that must resume.
     args.fresh = False
-    cmd_scan(args)
+    return cmd_scan(args)
+
+
+def cmd_coordinator(args) -> int:
+    import socket
+
+    from .campaign.dist import DistCoordinator
+
+    program = _resolve(args.program)
+    domain = get_domain(args.domain)
+    golden = record_golden(
+        program, checkpoint_stride=getattr(args, "checkpoint_stride", None))
+    policy = _scan_policy(args)
+    config = ExecutorConfig(
+        use_convergence=not getattr(args, "no_convergence", False))
+    # Bind before announcing, so `--port 0` (OS-assigned) prints the
+    # port workers can actually connect to.
+    sock = socket.create_server((args.host, args.port))
+    host, port = sock.getsockname()[:2]
+    coordinator = DistCoordinator(
+        golden, domain=domain, executor_config=config, policy=policy,
+        shards=args.shards, journal=args.journal,
+        resume=not getattr(args, "fresh", False), sock=sock,
+        progress=_eta_progress("classes"))
+    print(f"{program.name} [{domain.name} domain]: serving distributed "
+          f"scan on {host}:{port} "
+          f"({args.shards} shards); start workers with\n"
+          f"  repro worker --connect {host}:{port}",
+          file=sys.stderr)
+    scan = coordinator.run()
+    return _print_scan(scan)
+
+
+def cmd_worker(args) -> int:
+    from .campaign.dist import DistWorker, WorkerRejected
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect expects HOST:PORT, got "
+                         f"{args.connect!r}")
+    worker = DistWorker(host, int(port), name=args.name,
+                        max_reconnects=args.max_reconnects)
+    try:
+        executed = worker.run()
+    except WorkerRejected as exc:
+        raise SystemExit(f"worker rejected: {exc}")
+    print(f"campaign complete; this worker executed {executed} "
+          f"class(es)", file=sys.stderr)
+    return 0
 
 
 def cmd_fig3(_args) -> None:
@@ -302,6 +393,13 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--fresh", action="store_true",
                       help="discard the journaled campaign and restart "
                            "(with --journal)")
+    scan.add_argument("--dist", type=int, default=None, metavar="N",
+                      help="distribute the scan over N local worker "
+                           "processes via the TCP campaign fabric "
+                           "(excludes --jobs)")
+    scan.add_argument("--shards", type=int, default=8, metavar="N",
+                      help="work-lease granularity for --dist "
+                           "(default: 8)")
     scan.set_defaults(func=cmd_scan)
 
     resume = sub.add_parser(
@@ -309,6 +407,36 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("program", nargs="?", default=None)
     add_campaign_args(resume, journal_required=True)
     resume.set_defaults(func=cmd_resume)
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="serve a distributed scan to TCP workers")
+    coordinator.add_argument("program")
+    add_campaign_args(coordinator, journal_required=False)
+    coordinator.add_argument("--fresh", action="store_true",
+                             help="discard the journaled campaign and "
+                                  "restart (with --journal)")
+    coordinator.add_argument("--host", default="127.0.0.1",
+                             help="interface to listen on (default: "
+                                  "127.0.0.1; 0.0.0.0 for multi-host)")
+    coordinator.add_argument("--port", type=int, default=7716,
+                             help="TCP port to listen on (default: 7716)")
+    coordinator.add_argument("--shards", type=int, default=8, metavar="N",
+                             help="work-lease granularity (default: 8)")
+    coordinator.set_defaults(func=cmd_coordinator)
+
+    worker = sub.add_parser(
+        "worker", help="join a distributed scan as a worker")
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator endpoint to pull work from")
+    worker.add_argument("--name", default=None,
+                        help="worker identity in reports (default: "
+                             "hostname-pid)")
+    worker.add_argument("--max-reconnects", type=int, default=None,
+                        metavar="N",
+                        help="consecutive failed connection attempts "
+                             "before giving up (default: retry forever)")
+    worker.set_defaults(func=cmd_worker)
 
     sub.add_parser("fig3", help="Section IV dilution table").set_defaults(
         func=cmd_fig3)
@@ -327,8 +455,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    # Commands return their exit status; informational ones return None.
+    return args.func(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

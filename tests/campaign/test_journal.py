@@ -169,3 +169,69 @@ class TestExecutionReport:
     def test_empty_report_is_trivially_complete(self):
         assert ExecutionReport().complete
         assert ExecutionReport().completeness == 1.0
+
+
+class TestJournalDurability:
+    """The satellite hardening: WAL mode, integrity checking, and the
+    idempotent-merge / lease state the distributed fabric relies on."""
+
+    def test_file_journal_runs_in_wal_mode(self, tmp_path):
+        path = tmp_path / "journal.sqlite"
+        with ExperimentJournal(path) as handle:
+            mode = handle._conn.execute(
+                "PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+    def test_garbage_file_raises_journal_error_naming_the_path(
+            self, tmp_path):
+        path = tmp_path / "journal.sqlite"
+        path.write_bytes(b"this was never a database" * 100)
+        with pytest.raises(JournalError, match="journal.sqlite"):
+            ExperimentJournal(path)
+
+    def test_corrupted_database_fails_fast_not_mid_campaign(
+            self, tmp_path):
+        """Flipping bytes inside a real journal must surface at open
+        (quick_check or the schema read), never as a silent bad read."""
+        path = tmp_path / "journal.sqlite"
+        with ExperimentJournal(path) as handle:
+            campaign = _campaign(handle)
+            for axis in range(64):
+                campaign.record_class(
+                    axis, 1, [(bit, "sdc", 30, "") for bit in range(8)])
+        raw = bytearray(path.read_bytes())
+        assert len(raw) > 8192
+        # Stomp a whole page's header: structural corruption that
+        # PRAGMA quick_check is guaranteed to flag.
+        raw[4096:4296] = b"\xde\xad" * 100
+        path.write_bytes(bytes(raw))
+        with pytest.raises((JournalError, sqlite3.DatabaseError)):
+            with ExperimentJournal(path) as handle:
+                _campaign(handle).completed_classes()
+
+    def test_merge_class_is_first_wins_idempotent(self, journal):
+        campaign = _campaign(journal)
+        rows = [(0, "sdc", 30, ""), (1, "no-effect", 42, "")]
+        assert campaign.merge_class(5, 2, rows) is True
+        assert campaign.merge_class(5, 2, rows) is False
+        assert campaign.merge_class(
+            5, 2, [(0, "timeout", 1, "")]) is False  # late duplicate
+        stored = campaign.completed_classes()
+        assert stored[(5, 2)] == [(0, Outcome.SDC, 30, ""),
+                                  (1, Outcome.NO_EFFECT, 42, "")]
+
+    def test_lease_state_round_trips_and_clears(self, journal):
+        campaign = _campaign(journal)
+        campaign.record_lease(0, '[[0,1]]', attempts=2, status="pending",
+                              worker="w0")
+        campaign.record_lease(1, '[[0,9]]', attempts=0, status="failed")
+        assert campaign.lease_states() == {
+            0: {"keys": '[[0,1]]', "worker": "w0", "attempts": 2,
+                "status": "pending"},
+            1: {"keys": '[[0,9]]', "worker": "", "attempts": 0,
+                "status": "failed"}}
+        campaign.record_lease(0, '[[0,1]]', attempts=3, status="leased",
+                              worker="w1")
+        assert campaign.lease_states()[0]["attempts"] == 3
+        campaign.clear()
+        assert campaign.lease_states() == {}

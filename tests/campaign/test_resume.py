@@ -296,6 +296,56 @@ class TestHungWorker:
         assert second.class_outcomes == first.class_outcomes
 
 
+class TestSigintMidClass:
+    """^C in the middle of a class — between two of its per-bit
+    experiments — must leave the journal with whole classes only."""
+
+    @pytest.mark.parametrize("domain", ["memory", "register"])
+    def test_interrupt_between_bits_leaves_no_torn_class(
+            self, domain, tmp_path, memory_golden, memory_baseline,
+            register_golden, register_baseline):
+        import sqlite3
+
+        from repro.campaign import ExecutorConfig
+        from repro.faultspace.domain import get_domain
+
+        golden, baseline = _golden_and_baseline(
+            domain, memory_golden, memory_baseline, register_golden,
+            register_baseline)
+        dom = get_domain(domain)
+        journal = tmp_path / "journal.sqlite"
+        executor = ExecutorConfig(domain=domain).build(golden)
+        real_run = executor.run
+        calls = 0
+        # Die three experiments into the third class: the journal must
+        # then hold classes 1 and 2 in full and nothing of class 3.
+        limit = 2 * dom.bits + 3
+
+        def run_then_sigint(coordinate):
+            nonlocal calls
+            calls += 1
+            if calls > limit:
+                raise KeyboardInterrupt
+            return real_run(coordinate)
+
+        executor.run = run_then_sigint
+        with pytest.raises(KeyboardInterrupt):
+            run_full_scan(golden, domain=domain, executor=executor,
+                          journal=journal)
+        with sqlite3.connect(journal) as conn:
+            counts = conn.execute(
+                "SELECT COUNT(*) FROM class_results "
+                "GROUP BY campaign_id, axis, first_slot").fetchall()
+        assert len(counts) == 2  # the torn third class was not journaled
+        assert all(count == (dom.bits,) for count in counts)
+        resumed = run_full_scan(golden, domain=domain, journal=journal,
+                                keep_records=True)
+        assert resumed == baseline
+        assert resumed.records == baseline.records
+        assert resumed.execution.resumed == 2
+        assert resumed.execution.complete
+
+
 class TestHeartbeat:
     def test_progress_heartbeats_while_a_shard_runs_long(
             self, monkeypatch, memory_golden):

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -194,3 +196,45 @@ class TestCliParallelCombos:
         resumed = capsys.readouterr().out
         assert "resumed from journal" in resumed
         assert baseline.splitlines()[-2:] == resumed.splitlines()[-2:]
+
+
+class TestCliDist:
+    """`scan --dist`, the worker command, and incomplete exit codes."""
+
+    def test_scan_dist_matches_serial_histogram(self, capsys):
+        assert main(["scan", "hi"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["scan", "hi", "--dist", "2"]) == 0
+        dist = capsys.readouterr().out
+        # With only 2 work units a fast worker may drain both shards
+        # before the second one connects, so 1 or 2 workers can appear.
+        assert re.search(r"distributed across [12] worker\(s\)", dist)
+
+        def histogram(text):
+            skip = ("execution:", "  complete:", "  INCOMPLETE",
+                    "  distributed across", "  worker retries")
+            return [line for line in text.splitlines()
+                    if not line.startswith(skip)]
+
+        assert histogram(dist) == histogram(serial)
+
+    def test_scan_dist_refuses_jobs(self):
+        with pytest.raises(SystemExit, match="--dist"):
+            main(["scan", "hi", "--dist", "2", "--jobs", "2"])
+
+    def test_worker_connect_must_be_host_port(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["worker", "--connect", "nonsense"])
+
+    def test_incomplete_scan_exits_nonzero(self, monkeypatch, capsys):
+        """A campaign that lost shards for good must not exit 0 — CI
+        pipelines gate on the exit code, not on parsing the report."""
+        import json as json_mod
+
+        monkeypatch.setenv("REPRO_CHAOS", json_mod.dumps(
+            {"die": [[0, 0]], "die_delay": 0.2}))
+        status = main(["scan", "memcopy", "--jobs", "2",
+                       "--max-retries", "0"])
+        out = capsys.readouterr().out
+        assert status == 3
+        assert "INCOMPLETE" in out
