@@ -1,10 +1,17 @@
-"""Substrate microbenchmarks: interpreter, snapshots, assembler.
+"""Substrate microbenchmarks: engines, snapshots, assembler.
 
 Not a paper figure — these measure the simulator substrate itself so
 performance regressions in the machine show up independently of the
-campaign-level benchmarks.  The interpreter-throughput test also
-writes ``BENCH_machine.json`` at the repo root (see ``_bench_json``)
-so the cycles/second trajectory is tracked commit over commit.
+campaign-level benchmarks.  The throughput tests write (and
+incrementally merge) ``BENCH_machine.json`` at the repo root (see
+``_bench_json``) so the cycles/second trajectory of every engine tier
+is tracked commit over commit.
+
+``test_compiled_throughput`` doubles as the acceptance gate for the
+compiled execution core: the template-JIT must sustain at least 10×
+the interpreter's throughput on the same loop, measured back-to-back
+under identical conditions (steady state — machines are reused via
+``reset()``, the way campaign executors use them).
 """
 
 import time
@@ -12,6 +19,8 @@ import time
 from _bench_json import write_bench_json
 
 from repro.campaign import record_golden
+from repro.engine.batch import LockstepLanes
+from repro.engine.compiled import CompiledMachine
 from repro.isa import Assembler, Machine, assemble
 from repro.programs import micro, sync2
 
@@ -28,6 +37,29 @@ loop:   lw   r1, v(zero)
         halt
 """
 
+LOOP_CYCLES = 2 + 5 * 2000
+
+#: Merged across the throughput tests, rewritten after each one, so a
+#: partial run still leaves a valid artifact.
+_PAYLOAD: dict = {}
+
+
+def _record(section: str, payload: dict) -> None:
+    _PAYLOAD[section] = payload
+    write_bench_json("machine", _PAYLOAD)
+
+
+def _steady_cps(machine, repeats: int = 7) -> float:
+    """Best-of-N steady-state throughput of one reused machine."""
+    best = float("inf")
+    for _ in range(repeats):
+        machine.reset()
+        start = time.perf_counter()
+        machine.run(100_000)
+        best = min(best, time.perf_counter() - start)
+        assert machine.cycle == LOOP_CYCLES
+    return LOOP_CYCLES / best
+
 
 def test_interpreter_throughput(benchmark):
     program = assemble(LOOP_SOURCE, ram_size=4)
@@ -38,7 +70,7 @@ def test_interpreter_throughput(benchmark):
         return machine.cycle
 
     cycles = benchmark(run)
-    assert cycles == 2 + 5 * 2000
+    assert cycles == LOOP_CYCLES
     if benchmark.stats is not None:
         mean = benchmark.stats.stats.mean
     else:
@@ -47,11 +79,58 @@ def test_interpreter_throughput(benchmark):
         start = time.perf_counter()
         run()
         mean = time.perf_counter() - start
-    write_bench_json("machine", {
+    _record("interpreter", {
         "benchmark": "interpreter_throughput",
         "cycles_per_run": cycles,
         "mean_seconds": round(mean, 6),
         "cycles_per_second": round(cycles / mean),
+    })
+
+
+def test_compiled_throughput():
+    """A/B gate: the template JIT must be >= 10x the interpreter.
+
+    Both sides run the same loop under the same protocol (best-of-N on
+    a reused machine) in the same process, so machine speed, CPU
+    frequency scaling and interpreter warm-up cancel out of the ratio.
+    """
+    program = assemble(LOOP_SOURCE, ram_size=4)
+    interp_cps = _steady_cps(Machine(program))
+    compiled_cps = _steady_cps(CompiledMachine(program))
+    speedup = compiled_cps / interp_cps
+    _record("compiled", {
+        "benchmark": "compiled_throughput",
+        "cycles_per_run": LOOP_CYCLES,
+        "interp_cycles_per_second": round(interp_cps),
+        "compiled_cycles_per_second": round(compiled_cps),
+        "speedup": round(speedup, 2),
+    })
+    assert speedup >= 10.0, (
+        f"compiled engine is only {speedup:.1f}x the interpreter "
+        f"({compiled_cps:.0f} vs {interp_cps:.0f} cycles/s); the "
+        f"acceptance floor is 10x")
+
+
+def test_batch_lane_throughput():
+    """Aggregate lane-cycles/second of the lockstep batch engine."""
+    program = assemble(LOOP_SOURCE, ram_size=4)
+    state = Machine(program).snapshot()
+    lanes_n = 64
+    best = float("inf")
+    for _ in range(3):
+        lanes = LockstepLanes(program, state, lanes_n)
+        start = time.perf_counter()
+        lanes.run_to(100_000)
+        best = min(best, time.perf_counter() - start)
+        exits = lanes.pop_exits()
+        assert len(exits) == lanes_n
+        assert all(e.cycle == LOOP_CYCLES for e in exits)
+    lane_cps = LOOP_CYCLES * lanes_n / best
+    _record("batch", {
+        "benchmark": "batch_lane_throughput",
+        "lanes": lanes_n,
+        "cycles_per_lane": LOOP_CYCLES,
+        "lane_cycles_per_second": round(lane_cps),
     })
 
 

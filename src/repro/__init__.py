@@ -10,6 +10,8 @@ needs:
   pruning and samplers;
 * :mod:`repro.campaign` — the FAIL*-style fault-injection campaign
   engine (full scans, brute force, sampling, outcome taxonomy);
+* :mod:`repro.engine` — pluggable execution engines: the interpreter
+  oracle, a template JIT, and lockstep vectorized batch replay;
 * :mod:`repro.metrics` — fault coverage (and why it is unsound),
   extrapolated absolute failure counts, the comparison ratio r, the
   Poisson fault model, confidence intervals, MWTF;
@@ -34,13 +36,14 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, campaign, faultspace, hardening, isa, kernel, \
-    metrics, programs
+from . import analysis, campaign, engine, faultspace, hardening, isa, \
+    kernel, metrics, programs
 
 __all__ = [
     "__version__",
     "analysis",
     "campaign",
+    "engine",
     "faultspace",
     "hardening",
     "isa",

@@ -280,8 +280,7 @@ class DistWorker:
                 return True
             hits0 = executor.convergence_hits
             skips0 = executor.slice_hits
-            records = [executor.run(coord)
-                       for coord in interval.experiments()]
+            records = executor.run_many(interval.experiments())
             self.executed += 1
             message = {
                 "type": "result", "lease": lease_id, "shard": shard,

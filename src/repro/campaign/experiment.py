@@ -64,6 +64,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import ExecutionEngine, get_engine
 from ..faultspace.domain import FaultDomain, MEMORY, get_domain
 from ..faultspace.slicing import backward_slice
 from ..faultspace.model import FaultCoordinate
@@ -108,6 +109,11 @@ class ExecutorConfig:
     use_convergence: bool = True
     #: Fault-domain registry name; workers resolve it to the singleton.
     domain: str = MEMORY.name
+    #: Execution-engine registry name (see :mod:`repro.engine`).  Like
+    #: ``use_convergence`` this is outcome-invariant — the equivalence
+    #: tests prove bit-for-bit identical campaign results across
+    #: engines — so it is not part of the journal campaign key.
+    engine: str = "compiled"
 
     def timeout_cycles(self, golden_cycles: int) -> int:
         """Cycle budget before a run is classified as a timeout.
@@ -127,15 +133,24 @@ class ExecutorConfig:
 
     def build(self, golden: "GoldenRun",
               executor_class: type | None = None) -> "ExperimentExecutor":
-        """Construct an executor for ``golden`` with these settings."""
-        cls = executor_class or ExperimentExecutor
+        """Construct an executor for ``golden`` with these settings.
+
+        The executor class follows the engine unless overridden: batch
+        engines get the lockstep :class:`BatchExperimentExecutor`,
+        scalar engines the plain :class:`ExperimentExecutor`.
+        """
+        cls = executor_class
+        if cls is None:
+            cls = (BatchExperimentExecutor if get_engine(self.engine).batch
+                   else ExperimentExecutor)
         return cls(golden,
                    timeout_factor=self.timeout_factor,
                    timeout_slack=self.timeout_slack,
                    use_snapshots=self.use_snapshots,
                    early_stop=self.early_stop,
                    use_convergence=self.use_convergence,
-                   domain=self.domain)
+                   domain=self.domain,
+                   engine=self.engine)
 
 
 @dataclass(frozen=True)
@@ -165,9 +180,11 @@ class ExperimentExecutor:
                  use_snapshots: bool = True,
                  early_stop: bool = True,
                  use_convergence: bool = True,
-                 domain: FaultDomain | str = MEMORY):
+                 domain: FaultDomain | str = MEMORY,
+                 engine: ExecutionEngine | str | None = None):
         self.golden = golden
         self.domain = get_domain(domain)
+        self.engine = get_engine(engine)
         self.timeout_cycles = ExecutorConfig(
             timeout_factor=timeout_factor,
             timeout_slack=timeout_slack).timeout_cycles(golden.cycles)
@@ -184,8 +201,9 @@ class ExperimentExecutor:
             self._stride = 0
             self._golden_cycle_of = {}
         oracle = golden.output if early_stop else None
-        self._machine = Machine(golden.program, oracle=oracle)
-        self._pristine = Machine(golden.program)
+        self._machine = self.engine.create_machine(golden.program,
+                                                   oracle=oracle)
+        self._pristine = self.engine.create_machine(golden.program)
         self._snapshot: MachineState | None = None
         # Criticality map for the pre-run skip and the masked-probe
         # observability proofs; built lazily on the first experiment
@@ -223,7 +241,21 @@ class ExperimentExecutor:
             machine.reset()
             machine.run_to_cycle(coordinate.slot - 1)
         self._inject(machine, coordinate)
+        return self._finish(machine, coordinate)
 
+    def run_many(self, coordinates) -> list[ExperimentRecord]:
+        """Run a sequence of experiments, preserving input order.
+
+        The scalar executor simply iterates; the batch executor
+        overrides this to run same-slot stretches as lockstep lanes.
+        Callers should submit coordinates slot-sorted for the snapshot
+        fast-forward (and, in the batch case, lane grouping) to pay off.
+        """
+        return [self.run(coordinate) for coordinate in coordinates]
+
+    def _finish(self, machine: Machine,
+                coordinate) -> ExperimentRecord:
+        """Run an injected machine to its end and classify the outcome."""
         trap = ""
         matched_cycle = None
         try:
@@ -234,26 +266,41 @@ class ExperimentExecutor:
         except CPUException as exc:
             trap = exc.trap_name
         if matched_cycle is not None:
-            return self._converged_record(machine, coordinate,
-                                          matched_cycle)
+            return self._converged_record(
+                coordinate, matched_cycle, cycle=machine.cycle,
+                serial=bytes(machine.serial),
+                detections=tuple(machine.detections))
+        return self._classify_end(
+            coordinate, trap=trap, diverged=machine.diverged,
+            halted=machine.halted, serial=bytes(machine.serial),
+            detections=tuple(machine.detections), cycle=machine.cycle)
+
+    def _classify_end(self, coordinate, *, trap: str, diverged: bool,
+                      halted: bool, serial: bytes, detections: tuple,
+                      cycle: int) -> ExperimentRecord:
+        """Classify a run that ended (halt, trap, divergence, timeout).
+
+        Takes plain values rather than a machine so the batch executor
+        can classify lane exits through the exact same code path.
+        """
         trapped = bool(trap)
-        timed_out = not machine.halted and not trapped
-        if machine.diverged:
+        timed_out = not halted and not trapped
+        if diverged:
             # Early stop on first deviating output byte: the run can
             # never be benign again, so it is a failure; attribute the
             # mode from what was observed up to the divergence.
-            outcome = _classify_diverged(tuple(machine.detections))
+            outcome = _classify_diverged(detections)
         else:
             outcome = classify(
                 golden_output=self.golden.output,
-                output=bytes(machine.serial),
-                halted_cleanly=machine.halted and not trapped,
+                output=serial,
+                halted_cleanly=halted and not trapped,
                 trapped=trapped,
                 timed_out=timed_out,
-                detections=tuple(machine.detections),
+                detections=detections,
             )
         return ExperimentRecord(coordinate=coordinate, outcome=outcome,
-                                end_cycle=machine.cycle, trap=trap)
+                                end_cycle=cycle, trap=trap)
 
     # -- convergence early-exit ------------------------------------------------
 
@@ -344,11 +391,12 @@ class ExperimentExecutor:
                                 outcome=cached.outcome,
                                 end_cycle=cached.end_cycle)
 
-    def _converged_record(self, machine: Machine, coordinate,
-                          matched_cycle: int) -> ExperimentRecord:
+    def _converged_record(self, coordinate, matched_cycle: int, *,
+                          cycle: int, serial: bytes,
+                          detections: tuple) -> ExperimentRecord:
         """Classify a converged experiment from golden facts alone.
 
-        The faulty machine at cycle ``c'`` holds the golden state of
+        The faulty run at cycle ``c' = cycle`` holds the golden state of
         cycle ``c = matched_cycle`` (exactly, or up to the injected
         cell whose value is proven dead); determinism makes its
         remaining execution the golden suffix after ``c``: it emits the
@@ -360,7 +408,7 @@ class ExperimentExecutor:
         """
         self.convergence_hits += 1
         golden = self.golden
-        end_cycle = machine.cycle - matched_cycle + golden.cycles
+        end_cycle = cycle - matched_cycle + golden.cycles
         if end_cycle > self.timeout_cycles:
             # The golden suffix cannot finish inside the budget, and it
             # cannot halt, trap or diverge early — the golden run did
@@ -368,15 +416,14 @@ class ExperimentExecutor:
             return ExperimentRecord(coordinate=coordinate,
                                     outcome=Outcome.TIMEOUT,
                                     end_cycle=self.timeout_cycles)
-        emitted = bytes(machine.serial)
-        output = emitted + golden.output[len(emitted):]
+        output = serial + golden.output[len(serial):]
         outcome = classify(
             golden_output=golden.output,
             output=output,
             halted_cleanly=True,
             trapped=False,
             timed_out=False,
-            detections=tuple(machine.detections),
+            detections=detections,
         )
         return ExperimentRecord(coordinate=coordinate, outcome=outcome,
                                 end_cycle=end_cycle)
@@ -406,3 +453,157 @@ class ExperimentExecutor:
                 f"wanted {cycle}")  # pragma: no cover
         self._snapshot = self._pristine.snapshot()
         return self._snapshot
+
+
+class BatchExperimentExecutor(ExperimentExecutor):
+    """Executes same-slot experiment groups as lockstep vectorized lanes.
+
+    :meth:`run_many` splits its input into consecutive same-slot
+    stretches; each stretch shares one pre-injection snapshot and runs
+    as a :class:`~repro.engine.batch.LockstepLanes` batch — one numpy
+    op dispatch per cycle across all live lanes instead of one
+    interpreter pass per experiment.  Everything an experiment can do
+    maps back onto the scalar executor's own classification code:
+
+    * halt / trap / divergence lane exits go through
+      :meth:`~ExperimentExecutor._classify_end` with exactly the values
+      a scalar machine would hold;
+    * control-flow eviction restores the lane's
+      :class:`~repro.isa.cpu.MachineState` into the scalar (Tier-1)
+      machine and finishes via :meth:`~ExperimentExecutor._finish`;
+    * the convergence ladder is probed per live lane at the same
+      stride-aligned, exponentially backed-off checkpoints the scalar
+      executor uses.  An evicted lane restarts the backoff from its
+      eviction cycle — sound because a digest match at *any* checkpoint
+      classifies identically (see :meth:`_converged_record`: the end
+      cycle is shift-invariant and the emitted prefix is completed from
+      golden output), so the checkpoint schedule never affects records.
+
+    Single experiments (:meth:`run`) and stretches below
+    :data:`MIN_LANES` fall back to the inherited scalar path, which
+    under the ``batch`` engine runs on the compiled Tier-1 machine.
+    """
+
+    #: Below this many injectable lanes a stretch runs scalar: one
+    #: numpy dispatch costs ~100× a compiled-engine instruction, so
+    #: tiny batches would be slower than Tier 1.
+    MIN_LANES = 8
+    #: Lanes per batch chunk; bounds peak memory at
+    #: ``MAX_LANES × ram_size`` bytes and keeps eviction compaction
+    #: copies cheap.
+    MAX_LANES = 1024
+
+    def run_many(self, coordinates) -> list["ExperimentRecord"]:
+        coordinates = list(coordinates)
+        records: list[ExperimentRecord] = []
+        start = 0
+        while start < len(coordinates):
+            end = start + 1
+            slot = coordinates[start].slot
+            while (end < len(coordinates)
+                   and coordinates[end].slot == slot):
+                end += 1
+            records.extend(self._run_slot(coordinates[start:end]))
+            start = end
+        return records
+
+    def _run_slot(self, coords) -> list["ExperimentRecord"]:
+        """Run one same-slot stretch, batched where profitable."""
+        slot = coords[0].slot
+        if slot > self.golden.cycles:
+            raise ValueError(
+                f"slot {slot} beyond golden runtime {self.golden.cycles}")
+        records: list[ExperimentRecord | None] = [None] * len(coords)
+        batchable = []
+        for idx, coordinate in enumerate(coords):
+            if self.use_convergence and not self._cell_critical(coordinate):
+                self.slice_hits += 1
+                records[idx] = self._golden_record(coordinate)
+            else:
+                batchable.append(idx)
+        if len(batchable) < self.MIN_LANES:
+            for idx in batchable:
+                records[idx] = self.run(coords[idx])
+            return records
+        state = self._state_at(slot - 1)
+        for chunk_start in range(0, len(batchable), self.MAX_LANES):
+            chunk = batchable[chunk_start:chunk_start + self.MAX_LANES]
+            self._lockstep([coords[i] for i in chunk], chunk, records,
+                           state)
+        return records
+
+    def _lockstep(self, coords, idxs, records, state) -> None:
+        """Run one lane chunk; writes results into ``records[idxs[i]]``."""
+        from ..engine.batch import DIVERGE, EVICT, LockstepLanes
+
+        oracle = self.golden.output if self.early_stop else None
+        lanes = LockstepLanes(self.golden.program, state, len(coords),
+                              oracle=oracle)
+        inject = self.domain.inject
+        for pos, coordinate in enumerate(coords):
+            inject(lanes.lane_view(pos), coordinate)
+        limit = self.timeout_cycles
+
+        def settle() -> None:
+            for exit_ in lanes.pop_exits():
+                coordinate = coords[exit_.lane]
+                idx = idxs[exit_.lane]
+                if exit_.kind == EVICT:
+                    self._machine.restore(exit_.state)
+                    records[idx] = self._finish(self._machine, coordinate)
+                else:
+                    records[idx] = self._classify_end(
+                        coordinate, trap=exit_.trap,
+                        diverged=exit_.kind == DIVERGE, halted=True,
+                        serial=exit_.serial, detections=exit_.detections,
+                        cycle=exit_.cycle)
+
+        if self._stride:
+            stride = self._stride
+            table = self._golden_cycle_of
+            gap = stride
+            target = lanes.cycle + gap
+            target += -target % stride
+            while target < limit and lanes.n:
+                lanes.run_to(target)
+                settle()
+                if not lanes.n:
+                    break
+                drop = []
+                for pos in range(lanes.n):
+                    lane = lanes.ids[pos]
+                    coordinate = coords[lane]
+                    self.convergence_checks += 1
+                    matched = table.get(lanes.digest(pos))
+                    if matched is None:
+                        view = lanes.lane_view(pos)
+                        inject(view, coordinate)
+                        masked = table.get(lanes.digest(pos))
+                        inject(view, coordinate)
+                        if masked is not None and \
+                                self._cell_unobservable_after(coordinate,
+                                                              masked):
+                            matched = masked
+                    if matched is not None:
+                        records[idxs[lane]] = self._converged_record(
+                            coordinate, matched, cycle=lanes.cycle,
+                            serial=bytes(lanes.serial[pos]),
+                            detections=tuple(lanes.detections[pos]))
+                        drop.append(pos)
+                if drop:
+                    lanes.remove(drop)
+                gap *= 2
+                target += gap
+                target += -target % stride
+        if lanes.n:
+            lanes.run_to(limit)
+            settle()
+        for pos in range(lanes.n):
+            # Budget exhausted without halting: timeout, like the
+            # scalar path's un-halted machine at ``timeout_cycles``.
+            lane = lanes.ids[pos]
+            records[idxs[lane]] = self._classify_end(
+                coords[lane], trap="", diverged=False, halted=False,
+                serial=bytes(lanes.serial[pos]),
+                detections=tuple(lanes.detections[pos]),
+                cycle=lanes.cycle)

@@ -284,12 +284,30 @@ def _scan_shard(task):
     class_key = executor.domain.class_key
     pairs = []
     records: list[ExperimentRecord] = []
-    for interval in intervals:
-        results = [executor.run(coord) for coord in interval.experiments()]
-        pairs.append((class_key(interval),
-                      tuple(record.outcome for record in results)))
-        if keep_records:
-            records.extend(results)
+    start = 0
+    while start < len(intervals):
+        # Same-slot runs of classes go to the executor together so a
+        # batch engine can fuse them into lockstep lanes; the scalar
+        # executor's run_many just iterates, preserving old behaviour.
+        end = start + 1
+        slot = intervals[start].injection_slot
+        while (end < len(intervals)
+               and intervals[end].injection_slot == slot):
+            end += 1
+        group = intervals[start:end]
+        results = executor.run_many(
+            [coord for member in group for coord in member.experiments()])
+        consumed = 0
+        for member in group:
+            width = len(member.experiments())
+            member_records = results[consumed:consumed + width]
+            consumed += width
+            pairs.append((class_key(member),
+                          tuple(record.outcome
+                                for record in member_records)))
+            if keep_records:
+                records.extend(member_records)
+        start = end
     return (pairs, records, executor.convergence_hits - hits_base,
             executor.slice_hits - slice_base)
 
@@ -310,9 +328,11 @@ def _brute_shard(task):
     space = domain.fault_space(executor.golden)
     out = []
     for slot in slots:
+        coords = list(domain.slot_coordinates(space, slot))
         out.append((slot, [(domain.coordinate_axis(coord), coord.bit,
-                            executor.run(coord).outcome)
-                           for coord in domain.slot_coordinates(space, slot)]))
+                            record.outcome)
+                           for coord, record
+                           in zip(coords, executor.run_many(coords))]))
     return (out, executor.convergence_hits - hits_base,
             executor.slice_hits - slice_base)
 

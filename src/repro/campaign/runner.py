@@ -242,7 +242,10 @@ def run_full_scan(golden: GoldenRun, *,
     report = ExecutionReport(total_units=len(live))
     class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
     records: list[ExperimentRecord] = []
-    for done, interval in enumerate(live):
+    done = 0
+    index = 0
+    while index < len(live):
+        interval = live[index]
         key = domain.class_key(interval)
         if key in completed:
             rows = completed[key]
@@ -256,21 +259,45 @@ def run_full_scan(golden: GoldenRun, *,
                                      trap=trap)
                     for bit, outcome, end_cycle, trap in rows)
             report.resumed += 1
-        else:
-            results = [executor.run(coord)
-                       for coord in interval.experiments()]
-            class_outcomes[key] = tuple(
-                record.outcome for record in results)
+            index += 1
+            done += 1
+            if progress is not None:
+                progress(done, len(live))
+            continue
+        # Gather the run of fresh classes sharing this injection slot
+        # and submit their experiments together: live classes are
+        # slot-sorted, and a batch executor turns one same-slot group
+        # into lockstep lanes (a scalar executor just iterates).
+        group = [interval]
+        while index + len(group) < len(live):
+            nxt = live[index + len(group)]
+            if (nxt.injection_slot != interval.injection_slot
+                    or domain.class_key(nxt) in completed):
+                break
+            group.append(nxt)
+        results = executor.run_many(
+            [coord for member in group for coord in member.experiments()])
+        consumed = 0
+        for member in group:
+            member_key = domain.class_key(member)
+            width = len(member.experiments())
+            member_records = results[consumed:consumed + width]
+            consumed += width
+            class_outcomes[member_key] = tuple(
+                record.outcome for record in member_records)
             if keep_records:
-                records.extend(results)
+                records.extend(member_records)
             if handle is not None:
                 handle.record_class(
-                    key[0], key[1],
+                    member_key[0], member_key[1],
                     [(bit, record.outcome.value, record.end_cycle,
-                      record.trap) for bit, record in enumerate(results)])
+                      record.trap)
+                     for bit, record in enumerate(member_records)])
             report.executed += 1
-        if progress is not None:
-            progress(done + 1, len(live))
+            done += 1
+            if progress is not None:
+                progress(done, len(live))
+        index += len(group)
     report.convergence_hits = executor.convergence_hits - hits_base
     report.slice_hits = executor.slice_hits - slice_base
     if handle is not None:
@@ -340,12 +367,12 @@ def run_brute_force(golden: GoldenRun, *,
                 outcomes[domain.coordinate(slot, axis, bit)] = outcome
             report.resumed += 1
         else:
+            coords = list(domain.slot_coordinates(space, slot))
             rows = []
-            for coord in domain.slot_coordinates(space, slot):
-                outcome = executor.run(coord).outcome
-                outcomes[coord] = outcome
+            for coord, record in zip(coords, executor.run_many(coords)):
+                outcomes[coord] = record.outcome
                 rows.append((domain.coordinate_axis(coord), coord.bit,
-                             outcome.value))
+                             record.outcome.value))
             if handle is not None:
                 handle.record_slot(slot, rows)
             report.executed += 1

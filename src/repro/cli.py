@@ -75,6 +75,7 @@ from .campaign import (
     run_sampling,
 )
 from .campaign.runner import SAMPLERS
+from .engine import ENGINES
 from .faultspace import DOMAINS, REGISTER, get_domain
 from .metrics import weighted_coverage, weighted_failure_count
 from .programs import all_programs, bin_sem2, hi, sync2
@@ -189,7 +190,8 @@ def cmd_scan(args) -> int:
     resume = not getattr(args, "fresh", False)
     policy = _scan_policy(args)
     config = ExecutorConfig(
-        use_convergence=not getattr(args, "no_convergence", False))
+        use_convergence=not getattr(args, "no_convergence", False),
+        engine=getattr(args, "engine", "compiled"))
     print(f"{program.name} [{domain.name} domain]: "
           f"Δt={golden.cycles} cycles, w={space.size}")
     if args.samples:
@@ -258,7 +260,8 @@ def cmd_coordinator(args) -> int:
         program, checkpoint_stride=getattr(args, "checkpoint_stride", None))
     policy = _scan_policy(args)
     config = ExecutorConfig(
-        use_convergence=not getattr(args, "no_convergence", False))
+        use_convergence=not getattr(args, "no_convergence", False),
+        engine=getattr(args, "engine", "compiled"))
     # Bind before announcing, so `--port 0` (OS-assigned) prints the
     # port workers can actually connect to.
     sock = socket.create_server((args.host, args.port))
@@ -381,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(classify every post-injection tail by "
                               "running it to completion; outcomes are "
                               "identical either way)")
+        cmd.add_argument("--engine", choices=sorted(ENGINES),
+                         default="compiled",
+                         help="execution engine: the template-JIT "
+                              "'compiled' core (default), lockstep "
+                              "'batch' replay of same-slot experiments, "
+                              "or the reference 'interp' interpreter; "
+                              "results are bit-identical for all three")
         cmd.add_argument("--checkpoint-stride", type=int, default=None,
                          metavar="K",
                          help="golden checkpoint-digest stride in cycles "

@@ -1,0 +1,136 @@
+"""Execution engines: interchangeable cores that run the machine model.
+
+The campaign layer executes hundreds of millions of instructions per
+full scan, so *how* a :class:`~repro.isa.cpu.Machine` steps through ROM
+dominates campaign wall-clock.  This package provides three engines
+behind one interface, selected by name through
+:class:`~repro.campaign.experiment.ExecutorConfig` (``engine=``) and the
+CLI (``--engine``):
+
+``interp``
+    The reference interpreter — :class:`~repro.isa.cpu.Machine` itself,
+    one dispatch-table call per instruction.  Deliberately simple; it is
+    the differential-testing oracle the other engines are validated
+    against.
+
+``compiled``
+    The template JIT (:mod:`repro.engine.compiled`): at machine
+    construction the ROM is decomposed into basic blocks and stitched
+    into one generated-Python function (operands constant-folded into
+    the source, registers held in locals, word/halfword RAM access
+    through ``memoryview`` casts, self-loops turned into native
+    ``while`` loops).  Cycle accounting, trap semantics, serial/detect
+    side effects and state digests are bit-identical to the
+    interpreter, so checkpoint ladders, convergence rejoin and
+    criticality slicing keep working unchanged.
+
+``batch``
+    Lockstep vectorized replay (:mod:`repro.engine.batch`): N faulty
+    experiments that share an injection slot run as numpy ``(N, cells)``
+    state arrays with one op dispatch per cycle across all live lanes.
+    Lanes whose control flow diverges from the majority PC are evicted
+    to a Tier-1 (compiled) scalar machine; scalar stretches and golden
+    prefixes also use the compiled engine, so ``batch`` is a strict
+    superset of ``compiled``.
+
+Engines are stateless singletons (like fault domains); they resolve by
+name so an :class:`ExecutorConfig` naming one pickles across process
+boundaries and the dist-fabric wire protocol unchanged.
+"""
+
+from __future__ import annotations
+
+from ..isa.cpu import Machine
+
+
+class ExecutionEngine:
+    """One way of executing programs on the machine model.
+
+    ``name`` is the registry key (also the CLI spelling).  ``batch``
+    marks engines whose campaign executor runs same-slot experiments as
+    vectorized lockstep lanes; the campaign layer picks the executor
+    class from this flag.  Engines must be stateless singletons.
+    """
+
+    #: Registry name, accepted by ``ExecutorConfig(engine=...)``.
+    name: str = ""
+    #: Whether the campaign layer should batch same-slot experiments.
+    batch: bool = False
+
+    def create_machine(self, program, *, tracer=None,
+                       oracle=None) -> Machine:
+        """Build a machine executing ``program`` under this engine.
+
+        The returned object is always a :class:`~repro.isa.cpu.Machine`
+        (or subclass): snapshots, digests, injection and tracing keep
+        their exact interpreter semantics regardless of engine.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExecutionEngine {self.name!r}>"
+
+
+class InterpreterEngine(ExecutionEngine):
+    """The reference interpreter — the differential-testing oracle."""
+
+    name = "interp"
+
+    def create_machine(self, program, *, tracer=None,
+                       oracle=None) -> Machine:
+        return Machine(program, tracer=tracer, oracle=oracle)
+
+
+class CompiledEngine(ExecutionEngine):
+    """Tier 1: template-JIT superblocks generated at machine build."""
+
+    name = "compiled"
+
+    def create_machine(self, program, *, tracer=None,
+                       oracle=None) -> Machine:
+        from .compiled import CompiledMachine
+
+        return CompiledMachine(program, tracer=tracer, oracle=oracle)
+
+
+class BatchEngine(CompiledEngine):
+    """Tier 2: lockstep numpy lanes, evicting divergers to Tier 1.
+
+    Scalar machines built by this engine are compiled machines — the
+    batch executor uses them for golden prefixes, evicted lanes and
+    groups too small to vectorize profitably.
+    """
+
+    name = "batch"
+    batch = True
+
+
+#: The built-in engines, as shared stateless singletons.
+INTERP = InterpreterEngine()
+COMPILED = CompiledEngine()
+BATCH = BatchEngine()
+
+#: Registry of available engines, keyed by name.
+ENGINES: dict[str, ExecutionEngine] = {
+    INTERP.name: INTERP,
+    COMPILED.name: COMPILED,
+    BATCH.name: BATCH,
+}
+
+
+def get_engine(engine: ExecutionEngine | str | None) -> ExecutionEngine:
+    """Resolve an engine argument: an instance, a registry name, or None.
+
+    ``None`` means the default (compiled) engine.
+    """
+    if engine is None:
+        return COMPILED
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        available = ", ".join(sorted(ENGINES))
+        raise ValueError(
+            f"unknown execution engine {engine!r}; available: {available}"
+        ) from None

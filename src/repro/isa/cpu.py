@@ -235,24 +235,20 @@ class Machine:
             raise
         self.cycle += 1
 
-    def run(self, max_cycles: int) -> None:
-        """Run until ``halt``, a trap, or the cycle budget is exhausted.
+    def _run_until(self, limit: int) -> None:
+        """Shared loop of :meth:`run` and :meth:`run_to_cycle`.
 
-        Traps propagate to the caller; reaching ``max_cycles`` without
-        halting simply returns (the campaign layer treats it as timeout).
-
-        This is the campaign hot loop (hundreds of millions of
-        instructions per full scan), so :meth:`step` is inlined here with
-        the ROM bindings hoisted into locals; ``pc``/``halted``/``cycle``
-        still live on ``self`` because instruction handlers read and
-        write them.  Semantics are identical to calling ``step`` in a
-        loop.
+        Runs until ``halt``, a trap, or ``cycle >= limit``.  Semantics
+        are identical to calling :meth:`step` in a loop; the dispatch is
+        kept deliberately simple — this class is the differential-testing
+        *oracle* for the compiled engines in :mod:`repro.engine`, so it
+        optimizes for obviousness, not speed.
         """
         exec_rom = self._exec
         rom_len = len(exec_rom)
         while not self.halted:
             cycle = self.cycle
-            if cycle >= max_cycles:
+            if cycle >= limit:
                 break
             pc = self.pc
             if 0 <= pc < rom_len:
@@ -273,43 +269,26 @@ class Machine:
                 self.halted = True
                 raise IllegalPC(f"pc {pc} outside ROM", pc=pc, cycle=cycle)
 
+    def run(self, max_cycles: int) -> None:
+        """Run until ``halt``, a trap, or the cycle budget is exhausted.
+
+        Traps propagate to the caller; reaching ``max_cycles`` without
+        halting simply returns (the campaign layer treats it as timeout).
+        """
+        self._run_until(max_cycles)
+
     def run_to_cycle(self, target_cycle: int) -> None:
         """Run until exactly ``target_cycle`` instructions have executed.
 
         Used to position the machine at an injection slot: to inject at
         slot ``t``, run to cycle ``t - 1``.  Raises ``ValueError`` when
         asked to run backwards.
-
-        Shares the inlined hot loop of :meth:`run` — this is what the
-        snapshot fast-forward spends its time in.
         """
         if target_cycle < self.cycle:
             raise ValueError(
                 f"cannot run backwards: at cycle {self.cycle}, "
                 f"target {target_cycle}")
-        exec_rom = self._exec
-        rom_len = len(exec_rom)
-        while not self.halted:
-            cycle = self.cycle
-            if cycle >= target_cycle:
-                break
-            pc = self.pc
-            if 0 <= pc < rom_len:
-                handler, instr = exec_rom[pc]
-                self.pc = pc + 1
-                try:
-                    handler(instr)
-                except HaltedMachine:
-                    raise
-                except Exception:
-                    self.halted = True
-                    raise
-                self.cycle = cycle + 1
-            elif pc == rom_len:
-                self.halted = True
-            else:
-                self.halted = True
-                raise IllegalPC(f"pc {pc} outside ROM", pc=pc, cycle=cycle)
+        self._run_until(target_cycle)
 
     # -- memory --------------------------------------------------------------
 

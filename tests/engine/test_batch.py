@@ -1,0 +1,244 @@
+"""Differential tests: lockstep batch replay vs the scalar oracle.
+
+:class:`~repro.engine.batch.LockstepLanes` executes N same-slot faulty
+experiments as vectorized arrays; each lane must exit (halt / trap /
+divergence) or be evicted (control-flow disagreement) with *exactly*
+the observation a scalar :class:`~repro.isa.cpu.Machine` run of the
+same fault would produce.  Evicted lanes carry a restorable
+:class:`MachineState`, so the test continues them on a scalar machine
+and compares finals too.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign import record_golden
+from repro.engine.batch import (
+    DIVERGE,
+    EVICT,
+    HALT,
+    TRAP,
+    LockstepLanes,
+)
+from repro.isa import CPUException, Machine
+from repro.programs import all_programs, micro
+
+PROGRAMS = all_programs()
+
+
+def scalar_final(program, state, fault, limit, oracle):
+    """Run one injected experiment on the interpreter oracle."""
+    machine = Machine(program, oracle=oracle)
+    machine.restore(state)
+    fault(machine)
+    trap = ""
+    try:
+        machine.run(limit)
+    except CPUException as exc:
+        trap = exc.trap_name
+    return {
+        "cycle": machine.cycle,
+        "halted": machine.halted,
+        "diverged": machine.diverged,
+        "trap": trap,
+        "serial": bytes(machine.serial),
+        "detections": tuple(machine.detections),
+    }
+
+
+def lane_faults(rng, program, n):
+    """n random single-bit faults (mix of memory and register flips)."""
+    faults = []
+    for _ in range(n):
+        if rng.random() < 0.5:
+            addr, bit = rng.randrange(program.ram_size), rng.randrange(8)
+            faults.append(
+                lambda m, a=addr, b=bit: m.flip_bit(a, b))
+        else:
+            reg, bit = rng.randrange(1, 16), rng.randrange(32)
+            faults.append(
+                lambda m, r=reg, b=bit: m.flip_register_bit(r, b))
+    return faults
+
+
+def run_batch(program, state, faults, limit, oracle):
+    """Run the lane batch to ``limit``; settle evictions on a scalar
+    machine; return one observation dict per lane."""
+    lanes = LockstepLanes(program, state, len(faults), oracle=oracle)
+    for pos, fault in enumerate(faults):
+        fault(lanes.lane_view(pos))
+    results = [None] * len(faults)
+    scalar = Machine(program, oracle=oracle)
+
+    def settle():
+        for exit_ in lanes.pop_exits():
+            if exit_.kind == EVICT:
+                scalar.restore(exit_.state)
+                trap = ""
+                try:
+                    scalar.run(limit)
+                except CPUException as exc:
+                    trap = exc.trap_name
+                results[exit_.lane] = {
+                    "cycle": scalar.cycle,
+                    "halted": scalar.halted,
+                    "diverged": scalar.diverged,
+                    "trap": trap,
+                    "serial": bytes(scalar.serial),
+                    "detections": tuple(scalar.detections),
+                }
+            else:
+                results[exit_.lane] = {
+                    "cycle": exit_.cycle,
+                    "halted": True,
+                    "diverged": exit_.kind == DIVERGE,
+                    "trap": exit_.trap,
+                    "serial": bytes(exit_.serial),
+                    "detections": tuple(exit_.detections),
+                }
+
+    lanes.run_to(limit)
+    settle()
+    for pos in range(lanes.n - 1, -1, -1):
+        # Timeout survivors: still running at the budget.
+        lane = lanes.ids[pos]
+        results[lane] = {
+            "cycle": lanes.cycle,
+            "halted": False,
+            "diverged": False,
+            "trap": "",
+            "serial": bytes(lanes.serial[pos]),
+            "detections": tuple(lanes.detections[pos]),
+        }
+    return results
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_lanes_match_scalar_oracle(name):
+    """Random same-slot batches agree lane-for-lane with the oracle."""
+    program = PROGRAMS[name]()
+    golden = record_golden(program)
+    limit = 4 * golden.cycles + 100
+    rng = random.Random(f"batch:{name}")
+    for trial in range(6):
+        slot = rng.randrange(1, golden.cycles + 1)
+        reference = Machine(program)
+        reference.run_to_cycle(slot - 1)
+        state = reference.snapshot()
+        n = rng.choice([2, 5, 16])
+        faults = lane_faults(rng, program, n)
+        got = run_batch(program, state, faults, limit, golden.output)
+        want = [scalar_final(program, state, fault, limit,
+                             golden.output)
+                for fault in faults]
+        assert got == want, f"slot={slot} n={n} trial={trial}"
+
+
+def test_identical_lanes_never_evict():
+    """Same fault in every lane → pure lockstep, one shared exit."""
+    program = PROGRAMS["counter"]()
+    golden = record_golden(program)
+    reference = Machine(program)
+    reference.run_to_cycle(4)
+    state = reference.snapshot()
+    lanes = LockstepLanes(program, state, 8, oracle=golden.output)
+    for pos in range(8):
+        lanes.lane_view(pos).flip_bit(0, 3)
+    lanes.run_to(10 * golden.cycles)
+    exits = lanes.pop_exits()
+    assert lanes.n == 0
+    assert len(exits) == 8
+    assert len({(e.kind, e.cycle, e.trap, e.serial) for e in exits}) == 1
+    assert all(e.kind != EVICT for e in exits)
+
+
+def test_branch_disagreement_evicts_minority():
+    """A lane whose flipped flag takes the other branch arm is evicted
+    with a state that resumes exactly where it diverged."""
+    from repro.isa import assemble
+
+    program = assemble("""
+        li r1, 10
+    loop:
+        addi r1, r1, -1
+        bnez r1, loop
+        halt
+    """, name="evict-loop", ram_size=4)
+    golden = record_golden(program)
+    reference = Machine(program)
+    reference.run_to_cycle(1)  # r1 loaded, about to enter the loop
+    state = reference.snapshot()
+    # Three lanes with a harmless scratch-register fault, one lane with
+    # the loop counter flipped: its bnez disagrees with the majority at
+    # a deterministic cycle and it must be evicted, not mis-executed.
+    faults = [lambda m: m.flip_register_bit(7, 0)] * 3 \
+        + [lambda m: m.flip_register_bit(1, 4)]
+    got = run_batch(program, state, faults,
+                    40 * golden.cycles + 100, golden.output)
+    want = [scalar_final(program, state, fault,
+                         40 * golden.cycles + 100, golden.output)
+            for fault in faults]
+    assert got == want
+    # And the eviction really happened (the minority lane continued on
+    # a scalar machine to a different cycle count than the majority).
+    assert got[3]["cycle"] != got[0]["cycle"]
+
+
+def test_lane_digest_matches_scalar_digest():
+    """Digests drive convergence: lane digests equal scalar digests."""
+    program = micro.checksum_loop(2)
+    reference = Machine(program)
+    reference.run_to_cycle(6)
+    state = reference.snapshot()
+    lanes = LockstepLanes(program, state, 3)
+    scalars = []
+    for pos in range(3):
+        lanes.lane_view(pos).flip_bit(pos, 1)
+        machine = Machine(program)
+        machine.restore(state)
+        machine.flip_bit(pos, 1)
+        scalars.append(machine)
+    target = state.cycle + 5
+    lanes.run_to(target)
+    for machine in scalars:
+        machine.run(target)
+    assert lanes.n == 3
+    for pos in range(3):
+        assert lanes.digest(pos) == scalars[pos].state_digest()
+        assert lanes.lane_state(pos, lanes.pc, lanes.cycle) \
+            == scalars[pos].snapshot()
+
+
+def test_lane_view_validation_matches_machine():
+    program = micro.counter(1)
+    reference = Machine(program)
+    state = reference.snapshot()
+    lanes = LockstepLanes(program, state, 2)
+    view = lanes.lane_view(0)
+    for call in (lambda: view.flip_bit(program.ram_size, 0),
+                 lambda: view.flip_bit(0, 8),
+                 lambda: view.flip_register_bit(16, 0),
+                 lambda: view.flip_register_bit(0, 32)):
+        with pytest.raises((IndexError, ValueError)):
+            call()
+    # The scalar machine rejects the same coordinates.
+    for call in (lambda: reference.flip_bit(program.ram_size, 0),
+                 lambda: reference.flip_bit(0, 8),
+                 lambda: reference.flip_register_bit(16, 0),
+                 lambda: reference.flip_register_bit(0, 32)):
+        with pytest.raises((IndexError, ValueError)):
+            call()
+
+
+def test_halted_state_rejected():
+    program = micro.counter(1)
+    machine = Machine(program)
+    machine.run(10_000_000)
+    assert machine.halted
+    with pytest.raises(ValueError):
+        LockstepLanes(program, machine.snapshot(), 2)
+
+
+def test_exit_kinds_are_distinct():
+    assert len({HALT, TRAP, DIVERGE, EVICT}) == 4
