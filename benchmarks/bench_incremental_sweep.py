@@ -1,0 +1,140 @@
+"""Incremental hardening sweep: cold vs. warm variant comparison.
+
+The compositional result store's payoff in one number: running the
+four-variant ``guarded`` family (baseline, detect-only checksum,
+SUM+DMR, TMR) against a warm section store must be at least 3× faster
+than the cold sweep — every class composes from cached sections instead
+of re-simulating — while remaining *bit-for-bit identical*: same
+campaign results, same comparison table, byte-identical comparison CSV.
+
+Writes ``benchmarks/output/incremental_sweep.txt`` (human-readable) and
+repo-root ``BENCH_incremental_sweep.json`` (machine-readable, uploaded
+by CI as a perf-trajectory artifact).
+"""
+
+import time
+
+from _bench_json import write_bench_json
+
+from repro.campaign import record_golden, run_full_scan
+from repro.metrics import comparison_report, export_comparison_csv
+from repro.programs import guarded
+
+VARIANTS = guarded.VARIANT_NAMES
+#: Loop count for the swept family: large enough that simulation
+#: dominates the cold sweep (the warm one pays only store reads).
+ITERATIONS = 10
+MIN_SPEEDUP = 3.0
+
+
+def _sweep(goldens, journal, *, resume):
+    """One full sweep over the family; returns (results, seconds)."""
+    results = {}
+    start = time.perf_counter()
+    for name in VARIANTS:
+        results[name] = run_full_scan(goldens[name], journal=journal,
+                                      resume=resume, keep_records=True)
+    return results, time.perf_counter() - start
+
+
+def _reports(results):
+    baseline = results[VARIANTS[0]]
+    return [comparison_report(name, baseline, results[name])
+            for name in VARIANTS[1:]]
+
+
+def test_warm_sweep_is_faster_and_bit_identical(tmp_path, output_dir):
+    factories = {
+        "guarded": guarded.baseline,
+        "guarded-sum": guarded.sum_variant,
+        "guarded-sumdmr": guarded.sumdmr_variant,
+        "guarded-tmr": guarded.tmr_variant,
+    }
+    goldens = {name: record_golden(factory(ITERATIONS))
+               for name, factory in factories.items()}
+    journal = tmp_path / "sweep.sqlite"
+
+    cold, cold_s = _sweep(goldens, journal, resume=True)
+    # resume=False discards each campaign's own rows, so the warm sweep
+    # must rebuild every result purely by composing from the section
+    # store — the hardest version of the warm path.
+    warm, warm_s = _sweep(goldens, journal, resume=False)
+
+    composed = {}
+    for name in VARIANTS:
+        assert warm[name] == cold[name], name
+        assert warm[name].execution.executed == 0, name
+        assert warm[name].execution.composed_hits > 0, name
+        composed[name] = warm[name].execution.composed_hits
+
+    cold_csv = tmp_path / "cold.csv"
+    warm_csv = tmp_path / "warm.csv"
+    export_comparison_csv(_reports(cold), cold_csv)
+    export_comparison_csv(_reports(warm), warm_csv)
+    assert warm_csv.read_bytes() == cold_csv.read_bytes()
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x faster than cold "
+        f"({warm_s:.3f}s vs {cold_s:.3f}s), expected >= {MIN_SPEEDUP}x")
+
+    lines = [
+        "incremental hardening sweep (guarded family, memory domain)",
+        "===========================================================",
+        f"variants                {', '.join(VARIANTS)}",
+        f"cold sweep              {cold_s:.3f} s",
+        f"warm sweep              {warm_s:.3f} s "
+        f"({speedup:.1f}x faster)",
+        f"experiments composed    "
+        f"{sum(composed.values())} "
+        f"({', '.join(f'{k}: {v}' for k, v in composed.items())})",
+        "comparison CSV          byte-identical cold vs. warm",
+    ]
+    (output_dir / "incremental_sweep.txt").write_text(
+        "\n".join(lines) + "\n")
+
+    write_bench_json("incremental_sweep", {
+        "variants": list(VARIANTS),
+        "cold_seconds": round(cold_s, 6),
+        "warm_seconds": round(warm_s, 6),
+        "speedup": round(speedup, 2),
+        "min_speedup_asserted": MIN_SPEEDUP,
+        "composed_hits": composed,
+        "total_units": {name: cold[name].execution.total_units
+                        for name in VARIANTS},
+        "comparison_csv_byte_identical": True,
+    })
+
+
+def test_variant_edit_recomputes_only_changed_sections(tmp_path):
+    """The FastFlip scenario: after an edit to one section, the sweep
+    composes the unchanged sections and re-executes only the classes
+    the changed section owns.  Uses the entry-swap mutant (identical
+    semantics, one changed section) in the register domain, where the
+    mutated instruction's operand reads put live classes inside the
+    changed section."""
+    from repro.faultspace import build_section_map
+    from repro.isa.assembler import assemble
+
+    template = guarded.baseline(ITERATIONS).source.replace(
+        "start:", "start: add  r4, r5, r6\n      ", 1)
+    swapped = template.replace("add  r4, r5, r6", "add  r4, r6, r5", 1)
+    golden_a = record_golden(assemble(template, name="edit-a",
+                                      ram_size=4))
+    golden_b = record_golden(assemble(swapped, name="edit-b",
+                                      ram_size=4))
+    journal = tmp_path / "edit.sqlite"
+    run_full_scan(golden_a, domain="register", journal=journal)
+    reference = run_full_scan(golden_b, domain="register",
+                              keep_records=True)
+    warm = run_full_scan(golden_b, domain="register", journal=journal,
+                         keep_records=True)
+    assert warm == reference
+    changed_window = build_section_map(golden_b, "register") \
+        .sections[0].last_slot
+    changed = sum(1 for interval in warm.partition.live_classes()
+                  if interval.injection_slot <= changed_window)
+    assert warm.execution.executed == changed
+    assert 0 < changed < warm.execution.total_units
+    assert warm.execution.composed_hits \
+        == (warm.execution.total_units - changed) * warm.domain.bits

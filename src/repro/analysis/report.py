@@ -125,6 +125,10 @@ def completeness_report(report: ExecutionReport) -> str:
         lines.append(
             f"  criticality pre-skips: {report.slice_hits} "
             f"experiment(s) classified without execution")
+    if report.composed_hits:
+        lines.append(
+            f"  composed from section store: {report.composed_hits} "
+            f"experiment(s) reused from cached sections")
     if report.failed_shards:
         lines.append(f"  shards abandoned after retry budget: "
                      f"{report.failed_shards}")

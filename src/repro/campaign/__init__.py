@@ -1,8 +1,10 @@
 """Fault-injection campaign engine (the FAIL*-equivalent substrate)."""
 
+from .compose import SectionComposer, build_composer, compose_into_completed
 from .database import (
     CampaignCache,
     CampaignSummary,
+    JournalCache,
     export_class_results_csv,
     export_class_rows_csv,
     import_class_results_csv,
@@ -75,8 +77,12 @@ __all__ = [
     "ExperimentJournal",
     "ExperimentRecord",
     "FAILURE_OUTCOMES",
+    "JournalCache",
     "JournalError",
     "JournalMismatchError",
+    "SectionComposer",
+    "build_composer",
+    "compose_into_completed",
     "ParallelCampaign",
     "RetryPolicy",
     "resolve_jobs",

@@ -47,6 +47,7 @@ from collections import Counter
 from typing import Callable
 
 from ...faultspace.domain import FaultDomain, MEMORY, get_domain
+from ..compose import build_composer, compose_into_completed
 from ..database import program_fingerprint
 from ..experiment import ExecutorConfig, ExperimentRecord
 from ..golden import GoldenRun
@@ -187,6 +188,15 @@ class DistCoordinator:
         golden, domain = self.golden, self.domain
         completed = handle.completed_classes()
         live = partition.live_classes()  # sorted by injection slot
+        self.report = ExecutionReport(total_units=len(live))
+        # Compose store-known classes before planning leases: composed
+        # classes join ``completed`` and are never leased to any worker.
+        self._composer = build_composer(handle, golden, domain,
+                                        self._journal_params())
+        compose_into_completed(self._composer, live, completed, handle,
+                               self.report)
+        self._by_key = {domain.class_key(interval): interval
+                        for interval in live}
         # Plan over the FULL live list: indices and key lists are then a
         # pure function of the campaign, stable across restarts, and the
         # journaled per-shard retry state stays meaningful.
@@ -210,9 +220,7 @@ class DistCoordinator:
                               status=stored["status"])
         self.board = board
         self.handle = handle
-        self.report = ExecutionReport(
-            total_units=len(live),
-            resumed=len(completed))
+        self.report.resumed = len(completed)
         self._done_total = len(live)
         self._done_count = self.report.resumed
         self._done = asyncio.Event()
@@ -383,7 +391,15 @@ class DistCoordinator:
         if self.handle.merge_class(axis, first_slot, rows):
             # First delivery: count it, and credit the worker.  Late or
             # duplicate copies (expired lease, retransmit) fall through —
-            # the journal already holds the identical rows.
+            # the journal already holds the identical rows.  Workers only
+            # deliver simulator-produced results (the dist fabric never
+            # synthesizes timeouts), so every accepted class feeds the
+            # cross-campaign section store.
+            interval = self._by_key.get((axis, first_slot))
+            if interval is not None:
+                self._composer.store_class(interval, [
+                    (bit, outcome, end_cycle, trap)
+                    for bit, outcome, end_cycle, trap in rows])
             self.report.executed += 1
             self.report.convergence_hits += int(frame.get("hits", 0))
             self.report.slice_hits += int(frame.get("skips", 0))

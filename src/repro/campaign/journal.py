@@ -50,9 +50,12 @@ from typing import Iterable, Mapping
 
 from .outcomes import Outcome
 
-#: Bump when the schema changes incompatibly; mismatching journals are
-#: rejected instead of silently misread.
-SCHEMA_VERSION = 1
+#: Current schema version.  Version 2 added the cross-campaign section
+#: store (``sections``/``section_results``/``campaign_sections``) and
+#: the ``summaries`` table; both are purely additive, so version-1
+#: journals migrate in place on open.  Journals written by a *newer*
+#: build than this one are rejected instead of silently misread.
+SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -100,6 +103,37 @@ CREATE TABLE IF NOT EXISTS leases (
     attempts    INTEGER NOT NULL DEFAULT 0,
     status      TEXT NOT NULL DEFAULT 'pending',
     PRIMARY KEY (campaign_id, shard)
+);
+CREATE TABLE IF NOT EXISTS sections (
+    id          INTEGER PRIMARY KEY,
+    fingerprint TEXT NOT NULL UNIQUE,
+    program     TEXT NOT NULL,
+    domain      TEXT NOT NULL,
+    first_slot  INTEGER NOT NULL,
+    last_slot   INTEGER NOT NULL,
+    detail      TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS section_results (
+    section_id INTEGER NOT NULL REFERENCES sections(id),
+    slot       INTEGER NOT NULL,
+    axis       INTEGER NOT NULL,
+    bit        INTEGER NOT NULL,
+    outcome    TEXT NOT NULL,
+    end_cycle  INTEGER NOT NULL DEFAULT 0,
+    trap       TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (section_id, slot, axis, bit)
+);
+CREATE TABLE IF NOT EXISTS campaign_sections (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    section_id  INTEGER NOT NULL REFERENCES sections(id),
+    PRIMARY KEY (campaign_id, section_id)
+);
+CREATE TABLE IF NOT EXISTS summaries (
+    fingerprint TEXT NOT NULL,
+    domain      TEXT NOT NULL,
+    name        TEXT NOT NULL DEFAULT '',
+    summary     TEXT NOT NULL,
+    PRIMARY KEY (fingerprint, domain)
 );
 """
 
@@ -164,6 +198,12 @@ class ExecutionReport:
     #: non-critical (the criticality pre-skip).  Like
     #: :attr:`convergence_hits`, a performance diagnostic only.
     slice_hits: int = 0
+    #: Experiments whose outcomes were composed from the cross-campaign
+    #: section store (another campaign already executed an identical
+    #: program section) instead of re-executed.  Composed experiments
+    #: are *also* counted in :attr:`resumed` — they enter the campaign
+    #: through the same journal-merge path a resume uses.
+    composed_hits: int = 0
     #: Per-worker attribution of executed work units, as sorted
     #: ``(worker_name, units)`` pairs.  Populated by the distributed
     #: coordinator (every unit names the worker whose submission was
@@ -223,10 +263,26 @@ class ExperimentJournal:
                 "INSERT INTO meta (key, value) VALUES (?, ?)",
                 ("schema_version", str(SCHEMA_VERSION)))
             self._conn.commit()
-        elif int(row[0]) != SCHEMA_VERSION:
+            return
+        try:
+            stored = int(row[0])
+        except (TypeError, ValueError):
+            raise JournalError(
+                f"journal {self.path!r} has unreadable schema version "
+                f"{row[0]!r}, this build expects {SCHEMA_VERSION}") \
+                from None
+        if stored > SCHEMA_VERSION:
             raise JournalError(
                 f"journal {self.path!r} has schema version {row[0]}, "
                 f"this build expects {SCHEMA_VERSION}")
+        if stored < SCHEMA_VERSION:
+            # Versions 1 → 2 differ only by additive tables, which the
+            # executescript above already created; migration is just the
+            # version stamp.  Existing rows are untouched — no data loss.
+            self._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION),))
+            self._conn.commit()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -295,6 +351,141 @@ class ExperimentJournal:
             })
         return out
 
+    # -- cross-campaign section store -----------------------------------------
+
+    def section(self, *, fingerprint: str, program: str, domain: str,
+                first_slot: int, last_slot: int,
+                detail: str = "{}") -> int:
+        """Intern one section by fingerprint, returning its row id.
+
+        Sections are shared across campaigns (that is the point); the
+        fingerprint is the identity, everything else is bookkeeping for
+        ``repro journal`` listings.
+        """
+        row = self._conn.execute(
+            "SELECT id FROM sections WHERE fingerprint = ?",
+            (fingerprint,)).fetchone()
+        if row is not None:
+            return row[0]
+        cursor = self._conn.execute(
+            "INSERT INTO sections (fingerprint, program, domain, "
+            "first_slot, last_slot, detail) VALUES (?, ?, ?, ?, ?, ?)",
+            (fingerprint, program, domain, first_slot, last_slot, detail))
+        self._conn.commit()
+        return cursor.lastrowid
+
+    def merge_section_rows(
+            self, section_id: int,
+            rows: Iterable[tuple[int, int, int, str, int, str]]) -> None:
+        """Merge experiment rows into a section, first-wins.
+
+        ``rows`` holds ``(slot, axis, bit, outcome_value, end_cycle,
+        trap)``.  INSERT OR IGNORE gives the same first-wins semantics
+        the dist fabric uses for at-least-once deliveries: experiments
+        are deterministic, so a duplicate necessarily carries identical
+        values and dropping it is sound.
+        """
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO section_results (section_id, "
+                "slot, axis, bit, outcome, end_cycle, trap) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(section_id, slot, axis, bit, outcome, end_cycle, trap)
+                 for slot, axis, bit, outcome, end_cycle, trap in rows])
+
+    def section_rows(self, section_id: int) \
+            -> dict[tuple[int, int, int], tuple[Outcome, int, str]]:
+        """Stored rows of one section: ``(slot, axis, bit)`` → result."""
+        return {
+            (slot, axis, bit): (Outcome(outcome), end_cycle, trap)
+            for slot, axis, bit, outcome, end_cycle, trap in
+            self._conn.execute(
+                "SELECT slot, axis, bit, outcome, end_cycle, trap "
+                "FROM section_results WHERE section_id = ?",
+                (section_id,))
+        }
+
+    def sections(self) -> list[dict]:
+        """All stored sections with their result and reference counts."""
+        out = []
+        for row in self._conn.execute(
+                "SELECT id, fingerprint, program, domain, first_slot, "
+                "last_slot, detail FROM sections ORDER BY id"):
+            section_id = row[0]
+            results = self._conn.execute(
+                "SELECT COUNT(*) FROM section_results WHERE "
+                "section_id = ?", (section_id,)).fetchone()[0]
+            referenced = self._conn.execute(
+                "SELECT COUNT(*) FROM campaign_sections WHERE "
+                "section_id = ?", (section_id,)).fetchone()[0]
+            out.append({
+                "id": section_id,
+                "fingerprint": row[1],
+                "program": row[2],
+                "domain": row[3],
+                "first_slot": row[4],
+                "last_slot": row[5],
+                "detail": json.loads(row[6] or "{}"),
+                "stored_results": results,
+                "campaigns": referenced,
+            })
+        return out
+
+    def gc_sections(self) -> int:
+        """Drop sections no campaign references; returns sections freed."""
+        orphans = [row[0] for row in self._conn.execute(
+            "SELECT id FROM sections WHERE id NOT IN "
+            "(SELECT section_id FROM campaign_sections)")]
+        with self._conn:
+            for section_id in orphans:
+                self._conn.execute(
+                    "DELETE FROM section_results WHERE section_id = ?",
+                    (section_id,))
+                self._conn.execute(
+                    "DELETE FROM sections WHERE id = ?", (section_id,))
+        return len(orphans)
+
+    def schema_version(self) -> int:
+        """The schema version stamped in this journal file."""
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'") \
+            .fetchone()
+        return int(row[0])
+
+    def size_report(self) -> dict:
+        """Row counts per table plus the database file size in bytes."""
+        tables = ("campaigns", "class_results", "coordinate_results",
+                  "sampler_state", "leases", "sections",
+                  "section_results", "campaign_sections", "summaries")
+        report = {
+            table: self._conn.execute(
+                f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            for table in tables
+        }
+        try:
+            report["file_bytes"] = Path(self.path).stat().st_size
+        except OSError:
+            report["file_bytes"] = 0
+        return report
+
+    # -- campaign summaries (successor of the JSON CampaignCache) -------------
+
+    def store_summary(self, fingerprint: str, domain: str, name: str,
+                      summary: str) -> None:
+        """Store one campaign summary (JSON text) keyed by identity."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO summaries (fingerprint, domain, "
+                "name, summary) VALUES (?, ?, ?, ?)",
+                (fingerprint, domain, name, summary))
+
+    def load_summary(self, fingerprint: str, domain: str) -> str | None:
+        """The stored summary JSON for this identity, or None."""
+        row = self._conn.execute(
+            "SELECT summary FROM summaries WHERE fingerprint = ? AND "
+            "domain = ?", (fingerprint, domain)).fetchone()
+        return None if row is None else row[0]
+
 
 class CampaignJournal:
     """Handle bound to one campaign inside an :class:`ExperimentJournal`."""
@@ -319,16 +510,31 @@ class CampaignJournal:
         self._conn.commit()
 
     def clear(self) -> None:
-        """Discard every journaled result of this campaign (fresh start)."""
+        """Discard every journaled result of this campaign (fresh start).
+
+        The campaign's *links* into the section store are dropped, but
+        the shared section rows themselves survive — they belong to
+        every campaign whose program contains an identical section, and
+        re-running this campaign fresh will re-derive (and compose
+        from) them.
+        """
         with self._conn:
             for table in ("class_results", "coordinate_results",
-                          "sampler_state", "leases"):
+                          "sampler_state", "leases", "campaign_sections"):
                 self._conn.execute(
                     f"DELETE FROM {table} WHERE campaign_id = ?",
                     (self.campaign_id,))
             self._conn.execute(
                 "UPDATE campaigns SET status = 'running' WHERE id = ?",
                 (self.campaign_id,))
+
+    def link_section(self, section_id: int) -> None:
+        """Mark this campaign as referencing a stored section."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO campaign_sections (campaign_id, "
+                "section_id) VALUES (?, ?)",
+                (self.campaign_id, section_id))
 
     # -- full-scan classes ----------------------------------------------------
 
@@ -348,6 +554,27 @@ class CampaignJournal:
                 "VALUES (?, ?, ?, ?, ?, ?, ?)",
                 [(self.campaign_id, axis, first_slot, bit, outcome,
                   end_cycle, trap)
+                 for bit, outcome, end_cycle, trap in rows])
+
+    def record_classes(
+            self,
+            classes: Iterable[tuple[int, int, Iterable]]) -> None:
+        """Journal many live classes in one transaction.
+
+        ``classes`` holds ``(axis, first_slot, rows)`` triples in
+        :meth:`record_class` form.  Used when composing from the
+        section store, where dozens of classes arrive at once and
+        per-class transactions would pay one fsync each; atomicity per
+        class still holds because the whole batch commits together.
+        """
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO class_results (campaign_id, "
+                "axis, first_slot, bit, outcome, end_cycle, trap) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [(self.campaign_id, axis, first_slot, bit, outcome,
+                  end_cycle, trap)
+                 for axis, first_slot, rows in classes
                  for bit, outcome, end_cycle, trap in rows])
 
     def completed_classes(self) \

@@ -89,6 +89,7 @@ from typing import Callable, Sequence
 
 from ..faultspace.defuse import LIVE
 from ..faultspace.domain import FaultDomain, MEMORY, get_domain
+from .compose import build_composer, compose_into_completed
 from .experiment import ExecutorConfig, ExperimentExecutor, ExperimentRecord
 from .golden import GoldenRun
 from .journal import ExecutionReport, open_campaign
@@ -338,13 +339,22 @@ def _brute_shard(task):
 
 
 def _sampling_shard(task):
-    """Run one shard of distinct (class, bit) representative experiments."""
+    """Run one shard of distinct (class, bit) representative experiments.
+
+    Rows carry the full ``(key, outcome, end_cycle, trap)`` record — the
+    sampling result itself only needs the outcome, but the section store
+    composes these rows into *full-scan* campaigns later, and those need
+    end cycles and traps bit-for-bit.
+    """
     index, attempt, keyed = task
     _chaos(index, attempt)
     executor = _WORKER_EXECUTOR
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
-    rows = [(key, executor.run(coord).outcome) for key, coord in keyed]
+    rows = []
+    for key, coord in keyed:
+        record = executor.run(coord)
+        rows.append((key, record.outcome, record.end_cycle, record.trap))
     return (rows, executor.convergence_hits - hits_base,
             executor.slice_hits - slice_base)
 
@@ -519,10 +529,17 @@ class ParallelCampaign:
                 handle.clear()
             completed = handle.completed_classes()
         live = partition.live_classes()  # sorted by injection slot
+        report = ExecutionReport(total_units=len(live))
+        # Compose store-known classes into ``completed`` before planning:
+        # composed classes never reach a shard, exactly like resumed ones.
+        composer = build_composer(handle, golden, domain,
+                                  self._journal_params())
+        compose_into_completed(composer, live, completed, handle, report)
         todo = [interval for interval in live
                 if domain.class_key(interval) not in completed]
-        report = ExecutionReport(total_units=len(live),
-                                 resumed=len(live) - len(todo))
+        report.resumed = len(live) - len(todo)
+        by_key = {domain.class_key(interval): interval for interval in todo}
+        synthesized_keys: set[tuple[int, int]] = set()
         # Journaling needs end_cycle/trap, so workers must ship records
         # back even when the caller does not keep them.
         want_records = keep_records or handle is not None
@@ -550,6 +567,14 @@ class ParallelCampaign:
                         (bit, record.outcome.value, record.end_cycle,
                          record.trap)
                         for bit, record in enumerate(class_records)])
+                    if key not in synthesized_keys:
+                        # Wall-clock-synthesized timeouts are scheduling
+                        # artifacts of this run; only simulator-produced
+                        # results enter the cross-campaign store.
+                        composer.store_class(by_key[key], [
+                            (bit, record.outcome, record.end_cycle,
+                             record.trap)
+                            for bit, record in enumerate(class_records)])
             report.executed += len(pairs)
             done += len(pairs)
             if progress is not None:
@@ -560,6 +585,7 @@ class ParallelCampaign:
             pairs = []
             records: list[ExperimentRecord] = []
             for interval in intervals:
+                synthesized_keys.add(domain.class_key(interval))
                 coords = interval.experiments()
                 pairs.append((domain.class_key(interval),
                               tuple([Outcome.TIMEOUT] * len(coords))))
@@ -732,8 +758,26 @@ class ParallelCampaign:
                                        kv[1].bit))
         cache: dict[tuple[int, int, int], Outcome] = {
             key: journaled[key] for key, _ in items if key in journaled}
-        todo = [(key, coord) for key, coord in items if key not in cache]
         report = ExecutionReport(total_units=len(items), resumed=len(cache))
+        # Sections are keyed by executor parameters alone, so sampled
+        # campaigns compose from (and feed) the same store full scans use.
+        composer = build_composer(handle, golden, domain,
+                                  self._journal_params())
+        if composer is not None:
+            for key, coord in items:
+                if key in cache:
+                    continue
+                hit = composer.compose_experiment(coord.slot, key[0],
+                                                  key[2])
+                if hit is None:
+                    continue
+                cache[key] = hit[0]
+                handle.record_experiments(
+                    [(key[0], key[1], key[2], hit[0].value)])
+                report.resumed += 1
+                report.composed_hits += 1
+        todo = [(key, coord) for key, coord in items if key not in cache]
+        synthesized_keys: set = set()
         item_costs = [max(1, golden.cycles - coord.slot + 1)
                       for _, coord in todo]
         shards = shard_by_cost(todo, item_costs, self.jobs)
@@ -751,8 +795,13 @@ class ParallelCampaign:
             if handle is not None:
                 handle.record_experiments(
                     [(key[0], key[1], key[2], outcome.value)
-                     for key, outcome in rows])
-            for key, outcome in rows:
+                     for key, outcome, _, _ in rows])
+                for key, outcome, end_cycle, trap in rows:
+                    if key not in synthesized_keys:
+                        composer.store_experiment(
+                            keyed[key].slot, key[0], key[2], outcome,
+                            end_cycle, trap)
+            for key, outcome, _, _ in rows:
                 cache[key] = outcome
             report.executed += len(rows)
             done += len(rows)
@@ -761,7 +810,9 @@ class ParallelCampaign:
 
         def timeout_result(shard):
             report.synthesized_timeouts += len(shard)
-            return [(key, Outcome.TIMEOUT) for key, _ in shard], 0, 0
+            synthesized_keys.update(key for key, _ in shard)
+            return ([(key, Outcome.TIMEOUT, 0, "") for key, _ in shard],
+                    0, 0)
 
         self._run_shards(
             _sampling_shard, tasks, costs=costs, report=report,

@@ -44,6 +44,7 @@ from ..faultspace.sampling import (
     Sample,
     UniformSampler,
 )
+from .compose import build_composer, compose_into_completed
 from .experiment import ExecutorConfig, ExperimentExecutor, ExperimentRecord
 from .golden import GoldenRun
 from .journal import ExecutionReport, open_campaign
@@ -166,6 +167,30 @@ class CampaignResult:
         """Fault coverage c = 1 - F/w (per-program figure; see metrics)."""
         return 1.0 - self.weighted_failure_count() / self.fault_space_size
 
+    def weighted_counts_by_section(self, section_map) -> dict:
+        """Per-section Pitfall-1-weighted counts (see sections.py).
+
+        Splits every live class's weight across the sections its
+        interval overlaps and attributes each section's residual weight
+        as NO_EFFECT; :func:`~repro.faultspace.sections
+        .aggregate_section_counts` folds the result back into exactly
+        :meth:`weighted_counts`.  Only defined for complete campaigns —
+        a degraded campaign's missing classes would silently surface as
+        NO_EFFECT residual, so they raise instead.
+        """
+        from ..faultspace.sections import section_weighted_counts
+
+        live = self.partition.live_classes()
+        missing = [iv for iv in live
+                   if self.domain.class_key(iv) not in self.class_outcomes]
+        if missing:
+            raise ValueError(
+                f"cannot split weighted counts by section: {len(missing)} "
+                f"live classes missing from a degraded campaign")
+        return section_weighted_counts(
+            section_map, live, self.class_outcomes,
+            domain=self.domain, space=self.partition.fault_space)
+
     def class_records(self) -> list[tuple[object, tuple[Outcome, ...]]]:
         """Live classes paired with their per-bit outcomes."""
         out = []
@@ -240,6 +265,12 @@ def run_full_scan(golden: GoldenRun, *,
         completed = handle.completed_classes()
     live = partition.live_classes()  # sorted by injection slot
     report = ExecutionReport(total_units=len(live))
+    # Compose classes another campaign already executed for an identical
+    # program section: injecting them into ``completed`` up front routes
+    # them through the exact resume machinery below.
+    composer = build_composer(handle, golden, domain,
+                              _executor_params(executor))
+    compose_into_completed(composer, live, completed, handle, report)
     class_outcomes: dict[tuple[int, int], tuple[Outcome, ...]] = {}
     records: list[ExperimentRecord] = []
     done = 0
@@ -293,6 +324,9 @@ def run_full_scan(golden: GoldenRun, *,
                     [(bit, record.outcome.value, record.end_cycle,
                       record.trap)
                      for bit, record in enumerate(member_records)])
+                composer.store_class(member, [
+                    (bit, record.outcome, record.end_cycle, record.trap)
+                    for bit, record in enumerate(member_records)])
             report.executed += 1
             done += 1
             if progress is not None:
@@ -505,6 +539,10 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
     if handle is not None:
         handle.verify_sampler_state(len(drawn), rng_state)
         journaled = handle.completed_experiments()
+    # Section fingerprints use the executor parameters alone (no seed or
+    # sample count), so sampled and full-scan campaigns share the store.
+    composer = build_composer(handle, golden, domain,
+                              _executor_params(executor))
 
     # One experiment per distinct (class, bit); dead classes need none.
     total_experiments = 0
@@ -535,14 +573,28 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                 cache[key] = journaled[key]
                 report.resumed += 1
             else:
-                representative = domain.coordinate(
-                    interval.injection_slot, domain.axis_of(interval),
-                    sample.coordinate.bit)
-                cache[key] = executor.run(representative).outcome
-                if handle is not None:
+                composed = (composer.compose_experiment(
+                    interval.injection_slot, key[0], key[2])
+                    if composer is not None else None)
+                if composed is not None:
+                    cache[key] = composed[0]
                     handle.record_experiments(
-                        [(key[0], key[1], key[2], cache[key].value)])
-                report.executed += 1
+                        [(key[0], key[1], key[2], composed[0].value)])
+                    report.resumed += 1
+                    report.composed_hits += 1
+                else:
+                    representative = domain.coordinate(
+                        interval.injection_slot, domain.axis_of(interval),
+                        sample.coordinate.bit)
+                    record = executor.run(representative)
+                    cache[key] = record.outcome
+                    if handle is not None:
+                        handle.record_experiments(
+                            [(key[0], key[1], key[2], cache[key].value)])
+                        composer.store_experiment(
+                            interval.injection_slot, key[0], key[2],
+                            record.outcome, record.end_cycle, record.trap)
+                    report.executed += 1
             if progress is not None:
                 progress(len(cache), total_experiments)
         outcome_by_index[i] = cache[key]

@@ -23,6 +23,17 @@ Commands:
     Without a program: list the campaigns the journal holds and their
     progress.  With a program: continue its journaled campaign — the
     same as rerunning ``scan`` with the same arguments and journal.
+``compare <baseline> <variant>... [--journal P] [--csv P]``
+    Run baseline + N hardened variants as one comparison sweep and
+    print the side-by-side table of the sound failure-count ratio and
+    the pitfall metrics.  With ``--journal`` the sweep is incremental:
+    sections shared with earlier campaigns (a previous sweep, or other
+    variants) compose from the section store instead of re-executing,
+    and each variant's summary is cached in the journal.
+``journal --journal PATH [--gc]``
+    List a journal's campaigns and its section store (stored results
+    and referencing campaigns per section) plus a size report;
+    ``--gc`` drops section results no campaign references.
 ``coordinator <program> [--port P] [--shards N] [--journal P]``
     Serve a distributed full scan: workers connect over TCP, pull work
     leases, and stream results back; the coordinator owns the journal
@@ -159,8 +170,8 @@ def _print_execution(execution) -> None:
         return
     if (execution.resumed or execution.timed_out_shards
             or execution.shard_retries or execution.convergence_hits
-            or execution.slice_hits or execution.workers
-            or not execution.complete):
+            or execution.slice_hits or execution.composed_hits
+            or execution.workers or not execution.complete):
         print(completeness_report(execution))
 
 
@@ -247,6 +258,97 @@ def cmd_resume(args) -> int:
     # With a program the command is a journaled scan that must resume.
     args.fresh = False
     return cmd_scan(args)
+
+
+def cmd_compare(args) -> int:
+    """Sweep baseline + N variants as one incremental comparison."""
+    from .campaign.database import JournalCache
+    from .metrics import (
+        comparison_report,
+        comparison_table,
+        export_comparison_csv,
+    )
+
+    if args.samples:
+        raise SystemExit("compare needs full scans (the pitfall metrics "
+                         "require complete data); drop --samples")
+    domain = get_domain(args.domain)
+    names = [args.baseline] + args.variants
+    duplicates = {n for n in names if names.count(n) > 1}
+    if duplicates:
+        raise SystemExit(f"duplicate variant(s): "
+                         f"{', '.join(sorted(duplicates))}")
+    policy = _scan_policy(args)
+    config = ExecutorConfig(
+        use_convergence=not getattr(args, "no_convergence", False),
+        engine=getattr(args, "engine", "compiled"))
+    status = 0
+    results = {}
+    for name in names:
+        program = _resolve(name)
+        golden = record_golden(
+            program,
+            checkpoint_stride=getattr(args, "checkpoint_stride", None))
+        print(f"{name} [{domain.name} domain]: Δt={golden.cycles} "
+              f"cycles, w={domain.fault_space(golden).size}")
+        scan = run_full_scan(golden, jobs=args.jobs, domain=domain,
+                             journal=args.journal, policy=policy,
+                             config=config,
+                             progress=_eta_progress("classes"))
+        _print_execution(scan.execution)
+        status = status or _exit_status(scan.execution)
+        results[name] = (program, scan)
+    if status:
+        print("comparison skipped: at least one campaign is incomplete; "
+              "rerun with the same journal to finish")
+        return status
+    reports = [comparison_report(name, results[args.baseline][1],
+                                 results[name][1])
+               for name in args.variants]
+    print()
+    print(comparison_table(reports))
+    if args.journal:
+        # Summaries land in the journal's summaries table next to the
+        # section store that composed them (JournalCache, schema v2).
+        with ExperimentJournal(args.journal) as journal:
+            cache = JournalCache(journal)
+            for program, scan in results.values():
+                cache.store(program, CampaignSummary.from_result(scan))
+    if args.csv:
+        export_comparison_csv(reports, args.csv)
+        print(f"\ncomparison CSV written to {args.csv}")
+    return status
+
+
+def cmd_journal(args) -> int:
+    """Inspect and maintain a journal's campaigns and section store."""
+    with ExperimentJournal(args.journal) as journal:
+        if args.gc:
+            freed = journal.gc_sections()
+            print(f"gc: dropped {freed} orphaned section(s)")
+        campaigns = journal.campaigns()
+        print(f"journal {args.journal}: {len(campaigns)} campaign(s)")
+        for entry in campaigns:
+            print(f"  #{entry['id']} {entry['kind']:11s} "
+                  f"[{entry['domain']} domain] {entry['status']:8s} "
+                  f"{entry['journaled_experiments']:8d} experiments "
+                  f"journaled  fingerprint={entry['fingerprint'][:12]}")
+        sections = journal.sections()
+        print(f"section store: {len(sections)} section(s)")
+        for entry in sections:
+            print(f"  #{entry['id']} {entry['program']:20s} "
+                  f"[{entry['domain']} domain] slots "
+                  f"{entry['first_slot']}-{entry['last_slot']}: "
+                  f"{entry['stored_results']:6d} stored result(s), "
+                  f"{entry['campaigns']} campaign(s)  "
+                  f"fingerprint={entry['fingerprint'][:12]}")
+        sizes = journal.size_report()
+        file_bytes = sizes.pop("file_bytes")
+        rows = ", ".join(f"{table}={count}"
+                         for table, count in sorted(sizes.items())
+                         if count)
+        print(f"size: {file_bytes} bytes on disk ({rows or 'empty'})")
+    return 0
 
 
 def cmd_coordinator(args) -> int:
@@ -417,6 +519,28 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("program", nargs="?", default=None)
     add_campaign_args(resume, journal_required=True)
     resume.set_defaults(func=cmd_resume)
+
+    compare = sub.add_parser(
+        "compare",
+        help="incremental baseline-vs-variants comparison sweep")
+    compare.add_argument("baseline",
+                         help="baseline program the ratios divide by")
+    compare.add_argument("variants", nargs="+",
+                         help="hardened variant program(s) to compare")
+    add_campaign_args(compare, journal_required=False)
+    compare.add_argument("--csv", metavar="PATH", default=None,
+                         help="also export the comparison table as CSV")
+    compare.set_defaults(func=cmd_compare)
+
+    journal = sub.add_parser(
+        "journal",
+        help="inspect a journal's campaigns and section store")
+    journal.add_argument("--journal", metavar="PATH", required=True,
+                         help="SQLite experiment journal to inspect")
+    journal.add_argument("--gc", action="store_true",
+                         help="drop section results no campaign "
+                              "references before reporting")
+    journal.set_defaults(func=cmd_journal)
 
     coordinator = sub.add_parser(
         "coordinator",

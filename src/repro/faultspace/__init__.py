@@ -21,6 +21,14 @@ from .registers import (
     register_reads,
     register_writes,
 )
+from .sections import (
+    FINGERPRINT_VERSION,
+    Section,
+    SectionMap,
+    aggregate_section_counts,
+    build_section_map,
+    section_weighted_counts,
+)
 from .slicing import CriticalityMap, backward_slice
 from .sampling import (
     BiasedClassSampler,
@@ -50,7 +58,13 @@ __all__ = [
     "CriticalityMap",
     "DEAD",
     "DefUsePartition",
+    "FINGERPRINT_VERSION",
+    "Section",
+    "SectionMap",
+    "aggregate_section_counts",
     "backward_slice",
+    "build_section_map",
+    "section_weighted_counts",
     "FaultCoordinate",
     "FaultSpace",
     "LIVE",

@@ -10,7 +10,15 @@ The intended public workflow::
     print(compare(base, hard).describe())   # r = F_hardened / F_baseline
 """
 
-from .comparison import Comparison, ComparisonReport, compare, comparison_report
+from .comparison import (
+    COMPARISON_COLUMNS,
+    Comparison,
+    ComparisonReport,
+    compare,
+    comparison_report,
+    comparison_table,
+    export_comparison_csv,
+)
 from .confidence import (
     Interval,
     clopper_pearson_interval,
@@ -46,6 +54,7 @@ from .poisson import (
 )
 
 __all__ = [
+    "COMPARISON_COLUMNS",
     "Comparison",
     "ComparisonReport",
     "FailureCount",
@@ -57,6 +66,8 @@ __all__ = [
     "clopper_pearson_interval",
     "compare",
     "comparison_report",
+    "comparison_table",
+    "export_comparison_csv",
     "coverage_from_counts",
     "extrapolated_failure_count",
     "extrapolated_failure_interval",

@@ -17,8 +17,10 @@ reproduction figures and cautionary reports can show them side by side.
 
 from __future__ import annotations
 
+import csv
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..campaign.database import CampaignSummary
 from ..campaign.runner import CampaignResult
@@ -160,3 +162,85 @@ def comparison_report(name: str, baseline, hardened) -> ComparisonReport:
             "cannot produce the unweighted pitfall numbers)")
     return ComparisonReport(name=name, baseline=as_summary(baseline),
                             hardened=as_summary(hardened))
+
+
+def _table_rows(reports: list[ComparisonReport]) -> list[list[str]]:
+    """The comparison table as strings — shared by text and CSV form.
+
+    One row per variant, baseline first; every number is formatted here
+    so the printed table and the exported CSV can never disagree.
+    """
+    if not reports:
+        raise ValueError("no comparison reports")
+    base = reports[0].baseline
+    for report in reports:
+        if report.baseline != base:
+            raise ValueError(
+                f"comparison reports mix baselines: "
+                f"{report.baseline.program_name!r} vs "
+                f"{base.program_name!r}")
+    rows = [[base.program_name, base.domain,
+             f"{failure_count(base).total:.10g}", "1", "1", "0", "0",
+             "baseline"]]
+    for report in reports:
+        comp = report.comparison
+        verdict = ("improves" if comp.improves
+                   else "worsens" if comp.worsens else "unchanged")
+        rows.append([
+            report.hardened.program_name, report.hardened.domain,
+            f"{comp.hardened.total:.10g}",
+            f"{comp.ratio:.10g}",
+            f"{report.unweighted_ratio:.10g}",
+            f"{report.coverage_delta_weighted:.10g}",
+            f"{report.coverage_delta_unweighted:.10g}",
+            verdict,
+        ])
+    return rows
+
+
+#: Column names of :func:`_table_rows` / :func:`export_comparison_csv`.
+COMPARISON_COLUMNS = (
+    "variant", "domain", "failures", "ratio", "unweighted_ratio",
+    "coverage_delta_weighted_pp", "coverage_delta_unweighted_pp",
+    "verdict")
+
+
+def comparison_table(reports: list[ComparisonReport]) -> str:
+    """Render baseline + N hardened variants as one text table.
+
+    All reports must share a baseline.  Columns are the sound metric
+    (F and the ratio r) next to the pitfall metrics, so a glance shows
+    where the unsound numbers would have flipped the verdict; variants
+    with misleading metrics are flagged on their row.
+    """
+    rows = _table_rows(reports)
+    misleading = [""] + [", ".join(r.misleading_metrics())
+                         for r in reports]
+    header = list(COMPARISON_COLUMNS)
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+              for i in range(len(header))]
+    def fmt(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    lines = [fmt(header)]
+    for row, wrong in zip(rows, misleading):
+        line = fmt(row)
+        if wrong:
+            line += f"  [misleading here: {wrong}]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def export_comparison_csv(reports: list[ComparisonReport],
+                          path: str | Path) -> None:
+    """Write the comparison table to CSV, one row per variant.
+
+    The cells come from the same formatter as :func:`comparison_table`,
+    so a warm (section-composed) sweep that reproduces a cold sweep's
+    counts produces a byte-identical file — the property the
+    incremental-sweep benchmark asserts.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(COMPARISON_COLUMNS)
+        writer.writerows(_table_rows(reports))

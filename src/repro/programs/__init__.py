@@ -1,9 +1,10 @@
 """Benchmark programs: the paper's examples and kernel-test analogs."""
 
-from . import bin_sem2, hi, micro, sync2
+from . import bin_sem2, guarded, hi, micro, sync2
 from .registry import (
     BenchmarkPair,
     all_programs,
+    guarded_variants,
     hi_variants,
     micro_programs,
     paper_pairs,
@@ -13,6 +14,8 @@ __all__ = [
     "BenchmarkPair",
     "all_programs",
     "bin_sem2",
+    "guarded",
+    "guarded_variants",
     "hi",
     "hi_variants",
     "micro",

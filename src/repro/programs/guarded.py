@@ -1,0 +1,168 @@
+"""A counter workload in four hardening variants.
+
+The compositional result store makes sweeps over program *variants*
+incremental; this module provides the canonical four-variant family the
+``repro compare`` subcommand and the incremental-sweep benchmark
+iterate over:
+
+``guarded``
+    unprotected baseline (the micro ``counter`` shape).
+``guarded-sum``
+    additive checksum of the counter word, detect-only: a mismatch
+    announces an unrecoverable error and fail-stops.
+``guarded-sumdmr``
+    checksum plus duplicate via :class:`~repro.hardening.sumdmr`\\ 's
+    generic object protection — detect *and* correct.
+``guarded-tmr``
+    the counter word triplicated via :mod:`~repro.hardening.tmr`,
+    majority-vote reads with in-place repair.
+
+All four perform the same computation — increment a RAM-resident
+counter ``iterations`` times and print it — so their failure counts
+are directly comparable under the paper's sound metric
+(r = F_hardened / F_baseline, Section V).
+"""
+
+from __future__ import annotations
+
+from ..campaign.outcomes import PANIC_CODE
+from ..hardening.sumdmr import ProtectedObject, SumDmrEmitter
+from ..hardening.tmr import TmrEmitter, TmrWord
+from ..isa.assembler import Program, assemble
+
+#: Default loop count — small enough that a four-variant full scan
+#: stays cheap, long enough that the counter word has real lifetime.
+ITERATIONS = 3
+
+
+def _check_iterations(iterations: int) -> None:
+    if not 1 <= iterations <= 255:
+        raise ValueError("iterations must fit an output byte")
+
+
+def baseline(iterations: int = ITERATIONS) -> Program:
+    """Unprotected counter loop — the comparison baseline."""
+    _check_iterations(iterations)
+    source = f"""\
+        .data
+count:  .word 0
+        .text
+start:  addi r3, zero, {iterations}
+loop:   lw   r1, count(zero)
+        addi r1, r1, 1
+        sw   r1, count(zero)
+        addi r3, r3, -1
+        bnez r3, loop
+        lw   r1, count(zero)
+        out  r1
+        halt
+"""
+    return assemble(source, name="guarded", ram_size=4)
+
+
+def sum_variant(iterations: int = ITERATIONS) -> Program:
+    """Detect-only checksum: mismatch announces a panic and fail-stops.
+
+    For the one-word object the additive checksum equals the word, so
+    the guard is a comparison against a shadow word refreshed on every
+    store — detection without any means of recovery.
+    """
+    _check_iterations(iterations)
+    source = f"""\
+        .data
+count:  .word 0
+sum:    .word 0
+        .text
+start:  addi r3, zero, {iterations}
+loop:   lw   r1, count(zero)
+        lw   r10, sum(zero)
+        beq  r1, r10, __ck0
+        detect {PANIC_CODE:#x}
+        halt
+__ck0:  addi r1, r1, 1
+        sw   r1, count(zero)
+        sw   r1, sum(zero)
+        addi r3, r3, -1
+        bnez r3, loop
+        lw   r1, count(zero)
+        lw   r10, sum(zero)
+        beq  r1, r10, __ck1
+        detect {PANIC_CODE:#x}
+        halt
+__ck1:  out  r1
+        halt
+"""
+    return assemble(source, name="guarded-sum", ram_size=8)
+
+
+def sumdmr_variant(iterations: int = ITERATIONS) -> Program:
+    """SUM+DMR generic object protection around the counter word."""
+    _check_iterations(iterations)
+    emitter = SumDmrEmitter()
+    obj = ProtectedObject("count", 1)
+    data = "\n".join(emitter.data_lines(obj, [0]))
+    check_loop = "\n".join(emitter.emit_check(obj))
+    update = "\n".join(emitter.emit_update(obj))
+    check_out = "\n".join(emitter.emit_check(obj))
+    source = f"""\
+        .data
+{data}
+        .text
+start:  addi r3, zero, {iterations}
+loop:
+{check_loop}
+        lw   r1, count(zero)
+        addi r1, r1, 1
+        sw   r1, count(zero)
+{update}
+        addi r3, r3, -1
+        bnez r3, loop
+{check_out}
+        lw   r1, count(zero)
+        out  r1
+        halt
+"""
+    return assemble(source, name="guarded-sumdmr",
+                    ram_size=obj.size_bytes)
+
+
+def tmr_variant(iterations: int = ITERATIONS) -> Program:
+    """Triplicated counter word with majority-vote reads."""
+    _check_iterations(iterations)
+    emitter = TmrEmitter()
+    word = TmrWord("count")
+    data = "\n".join(emitter.data_lines(word, 0))
+    load_loop = "\n".join(emitter.emit_load(word, "r1"))
+    store = "\n".join(emitter.emit_store(word, "r1"))
+    load_out = "\n".join(emitter.emit_load(word, "r1"))
+    source = f"""\
+        .data
+{data}
+        .text
+start:  addi r3, zero, {iterations}
+loop:
+{load_loop}
+        addi r1, r1, 1
+{store}
+        addi r3, r3, -1
+        bnez r3, loop
+{load_out}
+        out  r1
+        halt
+"""
+    return assemble(source, name="guarded-tmr", ram_size=word.size_bytes)
+
+
+#: Sweep order: baseline first, then the three hardened variants.
+VARIANT_NAMES = ("guarded", "guarded-sum", "guarded-sumdmr",
+                 "guarded-tmr")
+
+
+def variants() -> dict[str, "Program"]:
+    """Name → assembled program for the whole four-variant family."""
+    return {
+        "guarded": baseline(),
+        "guarded-sum": sum_variant(),
+        "guarded-sumdmr": sumdmr_variant(),
+        "guarded-tmr": tmr_variant(),
+    }

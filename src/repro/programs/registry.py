@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..isa.assembler import Program
-from . import bin_sem2, hi, micro, sync2
+from . import bin_sem2, guarded, hi, micro, sync2
 
 ProgramThunk = Callable[[], Program]
 
@@ -68,11 +68,22 @@ def micro_programs() -> dict[str, ProgramThunk]:
     }
 
 
+def guarded_variants() -> dict[str, ProgramThunk]:
+    """The four-variant hardening family swept by ``repro compare``."""
+    return {
+        "guarded": guarded.baseline,
+        "guarded-sum": guarded.sum_variant,
+        "guarded-sumdmr": guarded.sumdmr_variant,
+        "guarded-tmr": guarded.tmr_variant,
+    }
+
+
 def all_programs() -> dict[str, ProgramThunk]:
     """Every registered program by name."""
     programs: dict[str, ProgramThunk] = {}
     programs.update(hi_variants())
     programs.update(micro_programs())
+    programs.update(guarded_variants())
     for pair in paper_pairs():
         programs[pair.name] = pair.baseline
         programs[f"{pair.name}-sumdmr"] = pair.hardened

@@ -1,0 +1,241 @@
+"""Compositional result store: warm campaigns equal cold ones bit for bit.
+
+The section store's contract is *composition soundness*: results
+composed from cached sections are indistinguishable from re-executed
+ones — same outcome dicts, same records, same journal rows, same CSV
+bytes — across fault domains, execution engines, serial/parallel/dist
+runners and full-scan/sampling styles.  These tests also pin the store's
+schema-migration behaviour (v1 journals open losslessly; newer or
+corrupt version stamps degrade with a clear error).
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign import (
+    ExecutorConfig,
+    ExperimentJournal,
+    JournalError,
+    export_class_results_csv,
+    record_golden,
+    run_brute_force,
+    run_full_scan,
+    run_sampling,
+)
+from repro.faultspace import build_section_map
+from repro.isa.assembler import assemble
+from repro.programs import micro
+
+SECTION_TABLES = ("section_results", "campaign_sections", "sections",
+                  "summaries")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return record_golden(micro.counter(3))
+
+
+def _experiments(result) -> int:
+    """Total experiments of a full scan: live classes × domain bits."""
+    return len(result.partition.live_classes()) * result.domain.bits
+
+
+class TestWarmEqualsCold:
+    @pytest.mark.parametrize("domain", ["memory", "register"])
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_full_scan_composes_bit_for_bit(self, tmp_path, golden,
+                                            domain, jobs):
+        journal = tmp_path / "journal.sqlite"
+        cold = run_full_scan(golden, domain=domain, jobs=jobs,
+                             journal=journal, keep_records=True)
+        warm = run_full_scan(golden, domain=domain, jobs=jobs,
+                             journal=journal, resume=False,
+                             keep_records=True)
+        assert warm == cold
+        assert warm.execution.executed == 0
+        assert warm.execution.composed_hits == _experiments(cold)
+
+    @pytest.mark.parametrize("engine", ["compiled", "batch", "interp"])
+    def test_store_is_engine_independent(self, tmp_path, golden,
+                                         engine):
+        """A store written by the compiled engine composes campaigns run
+        by any engine — fingerprints never mention the engine because
+        all engines are outcome- and end-cycle-identical."""
+        journal = tmp_path / "journal.sqlite"
+        cold = run_full_scan(golden, journal=journal, keep_records=True,
+                             config=ExecutorConfig(engine="compiled"))
+        warm = run_full_scan(golden, journal=journal, resume=False,
+                             keep_records=True,
+                             config=ExecutorConfig(engine=engine))
+        assert warm == cold
+        assert warm.execution.executed == 0
+        assert warm.execution.composed_hits > 0
+
+    def test_composed_csv_export_is_byte_identical(self, tmp_path,
+                                                   golden):
+        journal = tmp_path / "journal.sqlite"
+        cold = run_full_scan(golden, journal=journal)
+        warm = run_full_scan(golden, journal=journal, resume=False)
+        cold_csv = tmp_path / "cold.csv"
+        warm_csv = tmp_path / "warm.csv"
+        export_class_results_csv(cold, cold_csv)
+        export_class_results_csv(warm, warm_csv)
+        assert warm_csv.read_bytes() == cold_csv.read_bytes()
+
+    def test_composed_campaign_journal_rows_match(self, tmp_path,
+                                                  golden):
+        """The warm campaign re-journals every class it composed, so
+        its journal rows equal the cold campaign's."""
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(golden, journal=journal)
+        run_full_scan(golden, journal=journal, resume=False)
+        conn = sqlite3.connect(journal)
+        campaigns = [row[0] for row in conn.execute(
+            "SELECT id FROM campaigns ORDER BY id")]
+        assert len(campaigns) == 1  # same identity: cleared, then refilled
+        rows = conn.execute(
+            "SELECT COUNT(*) FROM class_results").fetchone()[0]
+        conn.close()
+        assert rows > 0
+
+    def test_sampling_composes_from_full_scan_store(self, tmp_path,
+                                                    golden):
+        """Sampled campaigns share the store with full scans: a warm
+        sampling run composes every sampled experiment the scan already
+        executed."""
+        journal = tmp_path / "journal.sqlite"
+        scan = run_full_scan(golden, journal=journal)
+        reference = run_sampling(golden, 30, seed=7)
+        warm = run_sampling(golden, 30, seed=7, journal=journal)
+        assert warm == reference
+        assert warm.execution.composed_hits > 0
+        assert warm.execution.composed_hits \
+            == warm.experiments_conducted
+        del scan
+
+    def test_dist_scan_composes_from_serial_store(self, tmp_path,
+                                                  golden):
+        from repro.campaign.dist import run_distributed_scan
+
+        journal = tmp_path / "journal.sqlite"
+        cold = run_full_scan(golden, journal=journal, keep_records=True)
+        warm = run_distributed_scan(golden, workers=2, journal=journal,
+                                    resume=False, keep_records=True)
+        assert warm == cold
+        assert warm.execution.executed == 0
+        assert warm.execution.composed_hits == _experiments(cold)
+
+    def test_brute_force_ignores_the_store(self, tmp_path, golden):
+        """Brute force validates the pruning against ground truth;
+        composing it from pruned-campaign results would be circular."""
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(golden, journal=journal)
+        brute = run_brute_force(golden)
+        scan = run_full_scan(golden, journal=journal, resume=False)
+        for coord, outcome in brute.outcomes.items():
+            assert scan.outcome_of(coord) == outcome
+
+
+class TestCrossProgramComposition:
+    def test_only_the_changed_section_re_executes(self, tmp_path):
+        """Mutate the entry block (commutative operand swap): the
+        variant's campaign composes every class owned by the unchanged
+        sections and re-executes exactly the first section's classes."""
+        template = """\
+        .data
+count:  .word 0
+        .text
+start:  add  r4, {a}, {b}
+loop:   lw   r1, count(zero)
+        addi r1, r1, 1
+        sw   r1, count(zero)
+        addi r4, r4, 1
+        slti r2, r4, 3
+        bnez r2, loop
+        lw   r1, count(zero)
+        out  r1
+        halt
+"""
+        golden_a = record_golden(assemble(
+            template.format(a="r5", b="r6"), name="swap-a", ram_size=4))
+        golden_b = record_golden(assemble(
+            template.format(a="r6", b="r5"), name="swap-b", ram_size=4))
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(golden_a, journal=journal)
+        reference = run_full_scan(golden_b, keep_records=True)
+        warm = run_full_scan(golden_b, journal=journal,
+                             keep_records=True)
+        assert warm == reference
+        first = build_section_map(golden_b).sections[0]
+        changed = [interval
+                   for interval in warm.partition.live_classes()
+                   if interval.injection_slot <= first.last_slot]
+        assert warm.execution.executed == len(changed)
+        assert warm.execution.resumed \
+            == warm.execution.total_units - len(changed)
+        assert warm.execution.composed_hits \
+            == warm.execution.resumed * warm.domain.bits
+
+
+class TestSchemaMigration:
+    def test_v1_journal_migrates_without_data_loss(self, tmp_path,
+                                                   golden):
+        """A journal written before the section store existed (schema
+        v1) opens via additive migration: its campaign rows survive and
+        the campaign resumes without executing anything."""
+        journal = tmp_path / "journal.sqlite"
+        cold = run_full_scan(golden, journal=journal, keep_records=True)
+        conn = sqlite3.connect(journal)
+        for table in SECTION_TABLES:
+            conn.execute(f"DROP TABLE {table}")
+        conn.execute("UPDATE meta SET value = '1' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        resumed = run_full_scan(golden, journal=journal,
+                                keep_records=True)
+        assert resumed == cold
+        assert resumed.execution.executed == 0
+        with ExperimentJournal(journal) as handle:
+            assert handle.schema_version() == 2
+
+    def test_newer_schema_is_rejected_with_clear_error(self, tmp_path,
+                                                       golden):
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(golden, journal=journal)
+        conn = sqlite3.connect(journal)
+        conn.execute("UPDATE meta SET value = '999' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalError, match="schema version"):
+            run_full_scan(golden, journal=journal)
+
+    def test_unreadable_version_is_rejected(self, tmp_path, golden):
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(golden, journal=journal)
+        conn = sqlite3.connect(journal)
+        conn.execute("UPDATE meta SET value = 'not-a-number' "
+                     "WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(JournalError, match="schema version"):
+            run_full_scan(golden, journal=journal)
+
+
+class TestStoreMaintenance:
+    def test_gc_drops_only_orphaned_sections(self, tmp_path, golden):
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(golden, journal=journal)
+        with ExperimentJournal(journal) as handle:
+            assert handle.gc_sections() == 0  # all linked
+            before = len(handle.sections())
+            assert before > 0
+            # Sever the links (what dropping a campaign would do) and
+            # the sections become collectable.
+            handle._conn.execute("DELETE FROM campaign_sections")
+            handle._conn.commit()
+            assert handle.gc_sections() == before
+            assert handle.sections() == []
+            assert handle.size_report()["section_results"] == 0

@@ -125,12 +125,27 @@ class TestFullScanResume:
 
     def test_resume_false_discards_the_journal(self, tmp_path,
                                                memory_golden):
+        """resume=False drops the campaign's own rows, but the shared
+        section store survives the clear, so the rerun composes its
+        results instead of re-executing them (bit-for-bit equal)."""
         journal = tmp_path / "journal.sqlite"
-        run_full_scan(memory_golden, journal=journal)
+        baseline = run_full_scan(memory_golden, journal=journal)
         fresh = run_full_scan(memory_golden, journal=journal,
                               resume=False)
-        assert fresh.execution.resumed == 0
-        assert fresh.execution.executed == fresh.execution.total_units
+        assert fresh == baseline
+        assert fresh.execution.executed == 0
+        assert fresh.execution.composed_hits > 0
+        assert fresh.execution.resumed == fresh.execution.total_units
+
+    def test_fresh_journal_file_executes_everything(self, tmp_path,
+                                                    memory_golden):
+        journal = tmp_path / "journal.sqlite"
+        run_full_scan(memory_golden, journal=journal)
+        cold = run_full_scan(memory_golden,
+                             journal=tmp_path / "other.sqlite")
+        assert cold.execution.resumed == 0
+        assert cold.execution.composed_hits == 0
+        assert cold.execution.executed == cold.execution.total_units
 
     def test_journal_survives_cross_engine_resume(
             self, tmp_path, memory_golden, memory_baseline):

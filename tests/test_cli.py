@@ -118,13 +118,17 @@ class TestCliJournal:
         # The campaign numbers themselves are identical either way.
         assert first.splitlines()[-2:] == second.splitlines()[-2:]
 
-    def test_scan_fresh_discards_journal(self, capsys, tmp_path):
+    def test_scan_fresh_composes_from_section_store(self, capsys,
+                                                    tmp_path):
+        """--fresh discards the campaign's journal rows, but the shared
+        section store survives, so the rerun composes instead of
+        re-executing (and says so)."""
         journal = str(tmp_path / "j.sqlite")
         main(["scan", "hi", "--journal", journal])
         capsys.readouterr()
         main(["scan", "hi", "--journal", journal, "--fresh"])
         out = capsys.readouterr().out
-        assert "resumed from journal" not in out
+        assert "composed from section store" in out
 
     def test_resume_lists_campaigns(self, capsys, tmp_path):
         journal = str(tmp_path / "j.sqlite")
@@ -163,6 +167,86 @@ class TestCliJournal:
               "--max-retries", "1"])
         out = capsys.readouterr().out
         assert "weighted coverage" in out
+
+
+class TestCliCompare:
+    """The `compare` incremental sweep and `journal` maintenance."""
+
+    ARGS = ["compare", "hi", "hi-dft4", "hi-mem2"]
+
+    def test_compare_prints_the_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "variant" in out and "ratio" in out
+        assert "baseline" in out
+        assert "hi-dft4" in out and "hi-mem2" in out
+
+    def test_compare_warm_sweep_is_identical(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        cold_csv = tmp_path / "cold.csv"
+        warm_csv = tmp_path / "warm.csv"
+        assert main(self.ARGS + ["--journal", journal,
+                                 "--csv", str(cold_csv)]) == 0
+        cold = capsys.readouterr().out
+        assert main(self.ARGS + ["--journal", journal,
+                                 "--csv", str(warm_csv)]) == 0
+        warm = capsys.readouterr().out
+        assert warm_csv.read_bytes() == cold_csv.read_bytes()
+        # The comparison tables agree line for line.
+        table = [line for line in cold.splitlines()
+                 if line.startswith(("variant", "hi"))]
+        assert table and all(line in warm for line in table)
+
+    def test_compare_caches_summaries_in_the_journal(self, tmp_path):
+        from repro.campaign import ExperimentJournal, JournalCache
+        from repro.programs import hi
+
+        journal = str(tmp_path / "j.sqlite")
+        assert main(["compare", "hi", "hi-dft4",
+                     "--journal", journal]) == 0
+        with ExperimentJournal(journal) as handle:
+            cached = JournalCache(handle).load(hi.baseline())
+        assert cached is not None
+        assert cached.program_name == "hi"
+
+    def test_compare_rejects_sampling(self):
+        with pytest.raises(SystemExit, match="--samples"):
+            main(["compare", "hi", "hi-dft4", "--samples", "10"])
+
+    def test_compare_rejects_duplicates(self):
+        with pytest.raises(SystemExit, match="duplicate"):
+            main(["compare", "hi", "hi"])
+
+    def test_compare_unknown_variant_exits_with_hint(self):
+        with pytest.raises(SystemExit, match="unknown program"):
+            main(["compare", "hi", "nonsense"])
+
+    def test_guarded_family_is_registered(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in ("guarded", "guarded-sum", "guarded-sumdmr",
+                     "guarded-tmr"):
+            assert name in out
+
+    def test_journal_lists_campaigns_and_sections(self, capsys,
+                                                  tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--journal", journal])
+        capsys.readouterr()
+        assert main(["journal", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "1 campaign(s)" in out
+        assert "section store:" in out
+        assert "fingerprint=" in out
+        assert "bytes on disk" in out
+
+    def test_journal_gc_reports_freed_sections(self, capsys, tmp_path):
+        journal = str(tmp_path / "j.sqlite")
+        main(["scan", "hi", "--journal", journal])
+        capsys.readouterr()
+        assert main(["journal", "--journal", journal, "--gc"]) == 0
+        out = capsys.readouterr().out
+        assert "gc: dropped 0 orphaned section(s)" in out
 
 
 class TestCliParallelCombos:
