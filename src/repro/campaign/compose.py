@@ -90,7 +90,7 @@ class SectionComposer:
         axis = self.domain.axis_of(interval)
         rows = self._section_rows(self.map.owner(slot).index)
         out = []
-        for bit in range(self.domain.bits):
+        for bit in range(self.domain.experiment_count(interval)):
             hit = rows.get((slot, axis, bit))
             if hit is None:
                 return None

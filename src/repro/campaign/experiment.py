@@ -336,15 +336,18 @@ class ExperimentExecutor:
             matched = table.get(machine.state_digest())
             if matched is not None:
                 return matched
-            # Masked probe: re-flipping the injected cell is the
-            # inverse of the injection, so this digest asks "is the
-            # state golden except for exactly the injected bit?".
-            inject(machine, coordinate)
-            masked = table.get(machine.state_digest())
-            inject(machine, coordinate)
-            if masked is not None and self._cell_unobservable_after(
-                    coordinate, masked):
-                return masked
+            if self.domain.involutive:
+                # Masked probe: re-flipping the injected cell is the
+                # inverse of the injection, so this digest asks "is the
+                # state golden except for exactly the injected bit?".
+                # Non-involutive domains (stuck-at) skip it: a second
+                # inject would not undo the first.
+                inject(machine, coordinate)
+                masked = table.get(machine.state_digest())
+                inject(machine, coordinate)
+                if masked is not None and self._cell_unobservable_after(
+                        coordinate, masked):
+                    return masked
             gap *= 2
             target += gap
             target += -target % stride
@@ -521,7 +524,10 @@ class BatchExperimentExecutor(ExperimentExecutor):
                 records[idx] = self._golden_record(coordinate)
             else:
                 batchable.append(idx)
-        if len(batchable) < self.MIN_LANES:
+        if len(batchable) < self.MIN_LANES or not self.domain.batchable:
+            # Non-batchable domains (PC faults redirect control flow
+            # immediately, so lanes would never march in lockstep) run
+            # scalar regardless of stretch width.
             for idx in batchable:
                 records[idx] = self.run(coords[idx])
             return records
@@ -575,7 +581,7 @@ class BatchExperimentExecutor(ExperimentExecutor):
                     coordinate = coords[lane]
                     self.convergence_checks += 1
                     matched = table.get(lanes.digest(pos))
-                    if matched is None:
+                    if matched is None and self.domain.involutive:
                         view = lanes.lane_view(pos)
                         inject(view, coordinate)
                         masked = table.get(lanes.digest(pos))

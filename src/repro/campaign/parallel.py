@@ -747,11 +747,10 @@ class ParallelCampaign:
             if sample.class_kind != LIVE:
                 continue
             interval = partition.locate(sample.coordinate)
-            key = domain.class_key(interval) + (sample.coordinate.bit,)
+            key = (domain.class_key(interval)
+                   + (domain.experiment_index(interval, sample.coordinate),))
             if key not in keyed:
-                keyed[key] = domain.coordinate(interval.injection_slot,
-                                               domain.axis_of(interval),
-                                               sample.coordinate.bit)
+                keyed[key] = domain.experiment_coordinate(interval, key[2])
         items = sorted(keyed.items(),
                        key=lambda kv: (kv[1].slot,
                                        domain.coordinate_axis(kv[1]),
@@ -828,7 +827,8 @@ class ParallelCampaign:
                 samples.append((sample, Outcome.NO_EFFECT))
                 continue
             interval = partition.locate(sample.coordinate)
-            key = domain.class_key(interval) + (sample.coordinate.bit,)
+            key = (domain.class_key(interval)
+                   + (domain.experiment_index(interval, sample.coordinate),))
             if key in cache:
                 samples.append((sample, cache[key]))
             elif key not in missing_seen:

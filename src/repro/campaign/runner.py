@@ -126,7 +126,8 @@ class CampaignResult:
         if interval.kind != LIVE:
             return Outcome.NO_EFFECT
         key = self.domain.class_key(interval)
-        return self.class_outcomes[key][coordinate.bit]
+        index = self.domain.experiment_index(interval, coordinate)
+        return self.class_outcomes[key][index]
 
     def weighted_counts(self) -> Counter:
         """Outcome counts expanded to the raw fault space (Pitfall 1 safe).
@@ -142,8 +143,9 @@ class CampaignResult:
             key = self.domain.class_key(interval)
             if key not in self.class_outcomes:
                 continue  # degraded: shard abandoned, class missing
-            for outcome in self.class_outcomes[key]:
-                counts[outcome] += interval.length
+            weights = self.domain.experiment_slot_weights(interval)
+            for outcome, weight in zip(self.class_outcomes[key], weights):
+                counts[outcome] += interval.length * weight
         counts[Outcome.NO_EFFECT] += self.partition.known_no_effect_weight
         return counts
 
@@ -548,7 +550,8 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
     total_experiments = 0
     if progress is not None:
         total_experiments = len({
-            domain.class_key(interval) + (sample.coordinate.bit,)
+            domain.class_key(interval)
+            + (domain.experiment_index(interval, sample.coordinate),)
             for sample, interval in (
                 (s, partition.locate(s.coordinate)) for s in drawn
                 if s.class_kind == LIVE)})
@@ -567,7 +570,8 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
             outcome_by_index[i] = Outcome.NO_EFFECT
             continue
         interval = partition.locate(sample.coordinate)
-        key = domain.class_key(interval) + (sample.coordinate.bit,)
+        key = (domain.class_key(interval)
+               + (domain.experiment_index(interval, sample.coordinate),))
         if key not in cache:
             if key in journaled:
                 cache[key] = journaled[key]
@@ -583,9 +587,8 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                     report.resumed += 1
                     report.composed_hits += 1
                 else:
-                    representative = domain.coordinate(
-                        interval.injection_slot, domain.axis_of(interval),
-                        sample.coordinate.bit)
+                    representative = domain.experiment_coordinate(
+                        interval, key[2])
                     record = executor.run(representative)
                     cache[key] = record.outcome
                     if handle is not None:

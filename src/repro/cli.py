@@ -55,7 +55,7 @@ the missing units), so scripted campaigns can detect degraded results.
     print the panels and verdicts.
 ``list [--sizes]``
     List the registered benchmark programs; ``--sizes`` records each
-    golden run and prints both domains' fault-space sizes.
+    golden run and prints every registered domain's fault-space size.
 ``render <program>``
     Print the ASCII fault-space diagram of a (small) program.
 """
@@ -139,9 +139,13 @@ def cmd_list(args) -> None:
                 f"ram={program.ram_size:5d}B")
         if args.sizes:
             golden = record_golden(program)
-            line += (f" Δt={golden.cycles:6d}"
-                     f" w_mem={golden.fault_space.size:10d}"
-                     f" w_reg={REGISTER.fault_space(golden).size:10d}")
+            line += f" Δt={golden.cycles:6d}"
+            # Every registered fault model, not just memory/register:
+            # a new domain must show up here without a CLI change.
+            for domain_name in sorted(DOMAINS):
+                domain = DOMAINS[domain_name]
+                size = domain.fault_space(golden).size
+                line += f" w_{domain_name}={size}"
         print(line)
 
 
@@ -442,8 +446,8 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_table1)
     listing = sub.add_parser("list", help="list registered programs")
     listing.add_argument("--sizes", action="store_true",
-                         help="record golden runs and print the memory "
-                              "and register fault-space sizes")
+                         help="record golden runs and print every "
+                              "registered domain's fault-space size")
     listing.set_defaults(func=cmd_list)
 
     render = sub.add_parser("render", help="ASCII fault-space diagram")

@@ -109,6 +109,22 @@ class _LaneView:
             raise ValueError(f"bit index {bit} out of range")
         lanes.regs[self._pos, reg] ^= np.uint32(1 << bit)
 
+    def stuck_at(self, addr: int, bit: int, value: int) -> None:
+        lanes = self._lanes
+        if not 0 <= addr < lanes.ram_size:
+            raise ValueError(f"stuck-at address {addr:#x} outside RAM")
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index {bit} out of range")
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {value}")
+        if lanes.stuck[self._pos] is not None:
+            raise ValueError("a stuck-at fault is already armed")
+        lanes.stuck[self._pos] = (addr, bit, value)
+        if value:
+            lanes.ram[self._pos, addr] |= np.uint8(1 << bit)
+        else:
+            lanes.ram[self._pos, addr] &= np.uint8(~(1 << bit) & 0xFF)
+
 
 class LockstepLanes:
     """N same-program runs in lockstep over numpy state arrays.
@@ -138,6 +154,8 @@ class LockstepLanes:
         self.ids = list(range(n))
         self.serial = [bytearray(state.serial) for _ in range(n)]
         self.detections = [list(state.detections) for _ in range(n)]
+        #: Per-lane armed stuck-at latch ``(addr, bit, value)`` or None.
+        self.stuck: list[tuple | None] = [state.stuck for _ in range(n)]
         self.exits: list[LaneExit] = []
         self._offsets = np.arange(n, dtype=np.int64) * self.ram_size
 
@@ -156,7 +174,8 @@ class LockstepLanes:
         """``state_digest`` of live lane ``pos`` — equals the digest the
         equivalent scalar machine would report at this cycle."""
         return state_digest(self.ram[pos].tobytes(), self.regs[pos].tolist(),
-                            self.pc, len(self.serial[pos]))
+                            self.pc, len(self.serial[pos]),
+                            self.stuck[pos])
 
     def lane_state(self, pos: int, pc: int, cycle: int) -> MachineState:
         """Full scalar machine state of live lane ``pos``."""
@@ -168,6 +187,7 @@ class LockstepLanes:
             halted=False,
             serial=bytes(self.serial[pos]),
             detections=tuple(self.detections[pos]),
+            stuck=self.stuck[pos],
         )
 
     def pop_exits(self) -> list[LaneExit]:
@@ -203,6 +223,7 @@ class LockstepLanes:
         self.ids = [self.ids[i] for i in kept]
         self.serial = [self.serial[i] for i in kept]
         self.detections = [self.detections[i] for i in kept]
+        self.stuck = [self.stuck[i] for i in kept]
         self._offsets = np.arange(len(self.ids),
                                   dtype=np.int64) * self.ram_size
 
@@ -358,6 +379,25 @@ class LockstepLanes:
             if not self.ids:
                 return False
             addr = addr[keep]
+        if not load and any(s is not None for s in self.stuck):
+            # A store covering a lane's armed stuck-at latch must go
+            # through the scalar release hook ("write wins") — evict
+            # such lanes *before* the store so the Tier-1 machine
+            # re-executes this instruction with exact semantics.
+            hit = [pos for pos, s in enumerate(self.stuck)
+                   if s is not None
+                   and addr[pos] <= s[0] < int(addr[pos]) + width]
+            if hit:
+                for pos in hit:
+                    self.exits.append(self._exit(
+                        pos, EVICT, c0,
+                        state=self.lane_state(pos, self.pc, c0)))
+                keep = np.ones(self.n, dtype=bool)
+                keep[hit] = False
+                self._compress(keep)
+                if not self.ids:
+                    return False
+                addr = addr[keep]
         flat = self.ram.reshape(-1)
         base = self._offsets + addr
         if load:

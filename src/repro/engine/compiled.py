@@ -625,7 +625,12 @@ class CompiledMachine(Machine):
                 break
             pc = self.pc
             if 0 <= pc < rom_len:
-                if pc in leaders:
+                if pc in leaders and self._stuck is None:
+                    # Generated blocks inline their stores (memoryview
+                    # writes), which would bypass the stuck-at release
+                    # hook in ``_store_raw`` — so an armed latch pins
+                    # execution to the interpreter path until the
+                    # releasing store clears it.
                     run_fn(self, limit)
                     if self.halted or self.cycle != cycle:
                         continue

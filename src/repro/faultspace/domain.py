@@ -32,14 +32,34 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..isa.isa import NUM_REGS
+from .burst import (
+    BurstFaultSpace,
+    BurstInterval,
+    BurstPartition,
+    burst_positions,
+)
 from .defuse import ByteInterval, DefUsePartition
 from .model import FaultCoordinate, FaultSpace
+from .pcreg import (
+    PC_BITS,
+    PCFaultCoordinate,
+    PCFaultSpace,
+    PCInterval,
+    PCPartition,
+)
 from .registers import (
     REGISTER_BITS,
     RegisterFaultCoordinate,
     RegisterFaultSpace,
     RegisterInterval,
     RegisterPartition,
+)
+from .stuckat import (
+    STUCK_BITS,
+    StuckAtCoordinate,
+    StuckAtFaultSpace,
+    StuckAtInterval,
+    StuckAtPartition,
 )
 
 
@@ -51,12 +71,41 @@ class FaultDomain:
     class — the bit width of one unit on the domain's spatial axis), and
     implement every method below.  Instances must be stateless: the
     parallel engine ships them to worker processes by name.
+
+    Four capability flags tell the engines what a model is allowed to
+    do; the conservative default is chosen so that *forgetting* to set
+    a flag yields a slower-but-correct campaign, never a wrong one:
+
+    ``involutive``
+        Injecting the same coordinate twice restores the pre-injection
+        state.  Required for the convergence machinery's masked
+        double-injection probes; stuck-at faults are not involutive.
+    ``batchable``
+        The lockstep batch tier can host the model's faults in lanes.
+        PC faults cannot — lanes share one program counter.
+    ``persistent``
+        Injection arms state that outlives the injection instant (the
+        stuck-at latch); engines must preserve it across snapshot /
+        restore and the compiled tier must leave its store-inlining
+        fast path while a fault is armed.
+    ``control_hazard``
+        A fault can redirect control flow *directly* (not via data), so
+        section fingerprints must cover the whole ROM rather than the
+        golden run's forward closure.
     """
 
     #: Registry name, also stored in :class:`CampaignSummary.domain`.
     name: str = ""
     #: Bits per spatial unit == experiments per live class.
     bits: int = 0
+    #: Double injection restores the pre-injection state.
+    involutive: bool = True
+    #: The lockstep batch tier may host this model's faults.
+    batchable: bool = True
+    #: Injection arms state that outlives the injection instant.
+    persistent: bool = False
+    #: Faults redirect control flow directly (PC corruption).
+    control_hazard: bool = False
 
     # -- spaces and partitions ------------------------------------------------
 
@@ -89,6 +138,53 @@ class FaultDomain:
     def slot_coordinates(self, space, slot: int) -> Iterator:
         """All raw coordinates of one injection slot, in scan order."""
         raise NotImplementedError
+
+    # -- experiments per class ------------------------------------------------
+    #
+    # The default hook implementations encode the classic def/use shape
+    # (``bits`` experiments per class, one per bit, each standing for
+    # one coordinate per covered slot) and are bit- and RNG-exact with
+    # the pre-hook behaviour of the memory and register domains.
+    # Domains with grouped or irregular classes (the PC domain's
+    # illegal-target group) override them.
+
+    def experiment_count(self, interval) -> int:
+        """Representative experiments a live class needs."""
+        return self.bits
+
+    def experiment_index(self, interval, coordinate) -> int:
+        """Index of the experiment standing for ``coordinate``.
+
+        Inverse of :meth:`experiment_coordinate` up to equivalence:
+        every coordinate of the class maps to the index of the
+        representative whose outcome it shares.
+        """
+        return coordinate.bit
+
+    def experiment_coordinate(self, interval, index: int):
+        """The class's ``index``-th representative fault coordinate."""
+        return self.coordinate(interval.injection_slot,
+                               self.axis_of(interval), index)
+
+    def experiment_slot_weights(self, interval) -> tuple[int, ...]:
+        """Raw coordinates each experiment stands for, per covered slot.
+
+        ``interval.length * sum(...)`` must equal
+        ``interval.weight_bits`` — the Pitfall 1 weighting contract
+        checked by the property suite.
+        """
+        return (1,) * self.experiment_count(interval)
+
+    def interval_coordinate(self, interval, offset: int):
+        """The ``offset``-th raw coordinate covered by a class.
+
+        Enumerates the class's ``weight_bits`` coordinates in a fixed
+        order; samplers use it to map uniform flat draws inside a class
+        to concrete coordinates (Pitfall 2 uniformity).
+        """
+        slot_offset, bit = divmod(offset, self.bits)
+        return self.coordinate(interval.first_slot + slot_offset,
+                               self.axis_of(interval), bit)
 
     # -- injection ------------------------------------------------------------
 
@@ -189,9 +285,184 @@ class RegisterDomain(FaultDomain):
                                         coordinate.reg)
 
 
-#: The two built-in domains, as shared stateless singletons.
+class BurstDomain(FaultDomain):
+    """Multi-bit upsets: ``width`` adjacent bits of one byte flip at once.
+
+    The coordinate's ``bit`` field holds the burst *start* position
+    (``0 .. 8-width``); the burst width is part of the domain name
+    (``burst2`` / ``burst4``), which folds it into every campaign
+    identity and section fingerprint automatically.
+    """
+
+    def __init__(self, width: int):
+        self.width = width
+        self.name = f"burst{width}"
+        self.bits = burst_positions(width)
+
+    def fault_space(self, golden) -> BurstFaultSpace:
+        return BurstFaultSpace(cycles=golden.cycles,
+                               ram_bytes=golden.fault_space.ram_bytes,
+                               width=self.width)
+
+    def build_partition(self, golden) -> BurstPartition:
+        partition = BurstPartition.from_trace(golden.trace,
+                                              self.fault_space(golden))
+        partition.validate()
+        return partition
+
+    def axis_of(self, interval: BurstInterval) -> int:
+        return interval.addr
+
+    def coordinate(self, slot: int, axis: int, bit: int) -> FaultCoordinate:
+        return FaultCoordinate(slot=slot, addr=axis, bit=bit)
+
+    def coordinate_axis(self, coordinate: FaultCoordinate) -> int:
+        return coordinate.addr
+
+    def slot_coordinates(self, space: BurstFaultSpace,
+                         slot: int) -> Iterator[FaultCoordinate]:
+        for addr in range(space.ram_bytes):
+            for start in range(space.positions):
+                yield FaultCoordinate(slot=slot, addr=addr, bit=start)
+
+    def inject(self, machine, coordinate: FaultCoordinate) -> None:
+        for bit in range(coordinate.bit, coordinate.bit + self.width):
+            machine.flip_bit(coordinate.addr, bit)
+
+    def cell_critical(self, criticality,
+                      coordinate: FaultCoordinate) -> bool:
+        # Criticality is tracked per byte: if the byte cannot influence
+        # the outcome, neither can any burst inside it.
+        return criticality.byte_critical(coordinate.slot - 1,
+                                         coordinate.addr)
+
+
+class StuckAtDomain(FaultDomain):
+    """Stuck-at-until-write faults: a RAM bit forced to 0/1 (DAVOS)."""
+
+    name = "stuck"
+    bits = STUCK_BITS
+    #: Arming the latch twice does not cancel it.
+    involutive = False
+    #: The latch outlives the injection instant.
+    persistent = True
+
+    def fault_space(self, golden) -> StuckAtFaultSpace:
+        return StuckAtFaultSpace(cycles=golden.cycles,
+                                 ram_bytes=golden.fault_space.ram_bytes)
+
+    def build_partition(self, golden) -> StuckAtPartition:
+        partition = StuckAtPartition.from_trace(golden.trace,
+                                                self.fault_space(golden))
+        partition.validate()
+        return partition
+
+    def axis_of(self, interval: StuckAtInterval) -> int:
+        return interval.addr
+
+    def coordinate(self, slot: int, axis: int,
+                   bit: int) -> StuckAtCoordinate:
+        return StuckAtCoordinate(slot=slot, addr=axis, bit=bit)
+
+    def coordinate_axis(self, coordinate: StuckAtCoordinate) -> int:
+        return coordinate.addr
+
+    def slot_coordinates(self, space: StuckAtFaultSpace,
+                         slot: int) -> Iterator[StuckAtCoordinate]:
+        for addr in range(space.ram_bytes):
+            for bit in range(STUCK_BITS):
+                yield StuckAtCoordinate(slot=slot, addr=addr, bit=bit)
+
+    def inject(self, machine, coordinate: StuckAtCoordinate) -> None:
+        machine.stuck_at(coordinate.addr, coordinate.bitpos,
+                         coordinate.value)
+
+    def cell_critical(self, criticality,
+                      coordinate: StuckAtCoordinate) -> bool:
+        # The backward slice argues about a transient corruption of the
+        # state *at one point*; an armed latch keeps corrupting every
+        # later re-read of the byte, so the slice proof does not apply.
+        return True
+
+
+class PCDomain(FaultDomain):
+    """Single bit flips in the program counter (Section VI-B's list)."""
+
+    name = "pc"
+    bits = 1  # every PC class has exactly one representative experiment
+    #: Lockstep lanes share one PC; scalar execution only.
+    batchable = False
+    #: A flipped PC transfers control anywhere in the ROM.
+    control_hazard = True
+
+    def fault_space(self, golden) -> PCFaultSpace:
+        return PCFaultSpace(cycles=golden.cycles)
+
+    def build_partition(self, golden) -> PCPartition:
+        partition = PCPartition.from_pc_trace(
+            len(golden.program.rom), golden.executed_pcs())
+        partition.validate()
+        return partition
+
+    def axis_of(self, interval: PCInterval) -> int:
+        return interval.axis
+
+    def coordinate(self, slot: int, axis: int,
+                   bit: int) -> PCFaultCoordinate:
+        # Journal rows key grouped classes by the sentinel axis and the
+        # experiment index; the physical bit lives in the coordinate.
+        return PCFaultCoordinate(slot=slot, bit=bit)
+
+    def coordinate_axis(self, coordinate: PCFaultCoordinate) -> int:
+        # A raw PC coordinate's class axis depends on the golden pc at
+        # its slot (partition state); as a pure journal/sort key the
+        # physical bit is deterministic and collision-free per slot.
+        return coordinate.bit
+
+    def slot_coordinates(self, space: PCFaultSpace,
+                         slot: int) -> Iterator[PCFaultCoordinate]:
+        for bit in range(PC_BITS):
+            yield PCFaultCoordinate(slot=slot, bit=bit)
+
+    # -- grouped-class experiment hooks ---------------------------------------
+
+    def experiment_count(self, interval: PCInterval) -> int:
+        return 1
+
+    def experiment_index(self, interval: PCInterval, coordinate) -> int:
+        return 0
+
+    def experiment_coordinate(self, interval: PCInterval, index: int):
+        if index != 0:
+            raise IndexError(f"PC classes have one experiment, not {index}")
+        return PCFaultCoordinate(slot=interval.slot,
+                                 bit=interval.members[0])
+
+    def experiment_slot_weights(self,
+                                interval: PCInterval) -> tuple[int, ...]:
+        return (len(interval.members),)
+
+    def interval_coordinate(self, interval: PCInterval, offset: int):
+        return PCFaultCoordinate(slot=interval.slot,
+                                 bit=interval.members[offset])
+
+    def inject(self, machine, coordinate: PCFaultCoordinate) -> None:
+        machine.flip_pc_bit(coordinate.bit)
+
+    def cell_critical(self, criticality,
+                      coordinate: PCFaultCoordinate) -> bool:
+        # The criticality map has no PC timeline — the PC steers every
+        # subsequent instruction, so no pre-skip proof exists.
+        return True
+
+
+#: The built-in domains, as shared stateless singletons.
 MEMORY = MemoryDomain()
 REGISTER = RegisterDomain()
+BURST2 = BurstDomain(2)
+BURST4 = BurstDomain(4)
+STUCK = StuckAtDomain()
+PC = PCDomain()
 
 #: Registry of available fault domains, keyed by name.  Third-party
 #: domains register here to become usable via ``domain="<name>"`` in
@@ -199,6 +470,10 @@ REGISTER = RegisterDomain()
 DOMAINS: dict[str, FaultDomain] = {
     MEMORY.name: MEMORY,
     REGISTER.name: REGISTER,
+    BURST2.name: BURST2,
+    BURST4.name: BURST4,
+    STUCK.name: STUCK,
+    PC.name: PC,
 }
 
 

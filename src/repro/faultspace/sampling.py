@@ -151,13 +151,10 @@ class LiveOnlySampler(SeededSampler):
             idx = bisect.bisect_right(self._cumulative, flat)
             interval = self._live[idx]
             offset = flat - (self._cumulative[idx] - interval.weight_bits)
-            slot_offset, bit = divmod(offset, domain.bits)
-            axis = domain.axis_of(interval)
-            coord = domain.coordinate(
-                interval.first_slot + slot_offset, axis, bit)
+            coord = domain.interval_coordinate(interval, offset)
             samples.append(Sample(
                 coordinate=coord,
-                addr=axis,
+                addr=domain.axis_of(interval),
                 class_first_slot=interval.first_slot,
                 class_kind=interval.kind,
             ))
@@ -190,12 +187,11 @@ class BiasedClassSampler(SeededSampler):
         samples = []
         for _ in range(count):
             interval = self._rng.choice(self._live)
-            bit = self._rng.randrange(domain.bits)
-            axis = domain.axis_of(interval)
-            coord = domain.coordinate(interval.injection_slot, axis, bit)
+            idx = self._rng.randrange(domain.experiment_count(interval))
+            coord = domain.experiment_coordinate(interval, idx)
             samples.append(Sample(
                 coordinate=coord,
-                addr=axis,
+                addr=domain.axis_of(interval),
                 class_first_slot=interval.first_slot,
                 class_kind=LIVE,
             ))

@@ -264,6 +264,12 @@ def build_section_map(golden, domain: FaultDomain | str | None = None,
         entry_digest = machine.state_digest().hex()
         closure, escape = _forward_closure(block_of(pcs[first - 1]),
                                            successors)
+        if domain.control_hazard:
+            # Domains that corrupt the pc itself (e.g. the "pc" domain)
+            # can land execution on *any* instruction, so the static
+            # forward closure no longer bounds reachable code; hash the
+            # whole ROM, exactly like a reachable ``jalr``.
+            escape = True
         code = _code_digest(rom, closure, blocks_by_start, escape)
         payload = json.dumps({
             "v": FINGERPRINT_VERSION,
@@ -293,8 +299,9 @@ def section_weighted_counts(section_map: SectionMap, live_intervals,
     """Def/use-weighted outcome counters, split per section.
 
     ``class_outcomes`` maps ``domain.class_key(interval)`` to the
-    per-bit outcome sequence of that class.  Each live class's weight
-    (``length × bits``) is split across the sections its interval
+    per-experiment outcome sequence of that class.  Each live class's
+    weight (``length × Σ experiment_slot_weights``, which equals
+    ``interval.weight_bits``) is split across the sections its interval
     overlaps, proportionally to the overlapping slot count; the
     remaining weight of each section — dead intervals and never-touched
     cells — is exact residual NO_EFFECT mass, so no dead-class list is
@@ -314,6 +321,7 @@ def section_weighted_counts(section_map: SectionMap, live_intervals,
     live_weight: dict[int, int] = {s.index: 0 for s in section_map.sections}
     for interval in live_intervals:
         outcomes = class_outcomes[domain.class_key(interval)]
+        weights = domain.experiment_slot_weights(interval)
         first = section_map.owner(interval.first_slot).index
         last = section_map.owner(interval.last_slot).index
         for section in section_map.sections[first:last + 1]:
@@ -322,9 +330,9 @@ def section_weighted_counts(section_map: SectionMap, live_intervals,
             if overlap <= 0:  # pragma: no cover - owner() bounds this
                 continue
             counter = counts[section.index]
-            for outcome in outcomes:
-                counter[outcome] += overlap
-            live_weight[section.index] += overlap * len(outcomes)
+            for outcome, weight in zip(outcomes, weights):
+                counter[outcome] += overlap * weight
+            live_weight[section.index] += overlap * sum(weights)
     for section in section_map.sections:
         dead = section.slots * per_slot - live_weight[section.index]
         if dead < 0:  # pragma: no cover - partition invariant

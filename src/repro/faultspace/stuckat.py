@@ -1,0 +1,262 @@
+"""Stuck-at-until-write fault space: a RAM bit forced to 0 or 1.
+
+The DAVOS fault dictionary's second memory model after the transient
+bit flip: from the injection slot on, one RAM bit is *forced* to a
+value ``v ∈ {0, 1}`` until the owning byte's next write, which releases
+the cell ("write wins").  Every read during the fault's lifetime sees
+the forced value; the clearing write stores its data unmodified.
+
+A coordinate is ``(slot, addr, bit)`` with the 4-bit experiment index
+``bit = (value << 3) | bitpos`` packing the forced value and the bit
+position, so each byte carries ``16`` experiments per class and the
+space size is ``Δt × Δm_bytes × 16``.
+
+Def/use pruning — soundness per model (Pitfall 1):
+
+* **No accesses between two injection slots ⇒ equivalence.**  Forcing
+  the bit at ``t1`` vs. ``t2`` in the same inter-access gap produces
+  machines that differ only in a byte no instruction touches before the
+  gap's terminating access; from that access on, both have the same
+  forced bit, the same armed fault, and the fault clears at the same
+  first write.  Executions coincide, so gaps between consecutive
+  accesses are equivalence classes — the *same boundaries* as the
+  transient model.
+* **Write-terminated gaps and the tail are dead.**  If the terminating
+  access is a write, it clears the fault before any read observes the
+  forced value; past the last access nothing observes it either.  Both
+  are known "No Effect" a priori.
+* **Read-terminated gaps are live** with the representative injection
+  right before the activating read (``injection_slot = last_slot``),
+  one experiment per (bit position, forced value) pair.
+
+Unlike a bit flip, arming a stuck-at twice does not cancel it, so the
+domain is *non-involutive*: the convergence machinery must not use
+double-injection masked probes (gated by ``FaultDomain.involutive``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..isa.tracing import MemoryTrace
+from .defuse import DEAD, LIVE
+
+#: Experiments per byte and class: 8 bit positions × 2 forced values.
+STUCK_BITS = 16
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtCoordinate:
+    """One stuck-at fault: force a bit of byte ``addr`` from ``slot``.
+
+    ``bit`` packs the experiment index: ``bit & 7`` is the bit
+    position, ``bit >> 3`` the forced value (0 or 1).
+    """
+
+    slot: int
+    addr: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.slot < 1:
+            raise ValueError(f"slot must be >= 1, got {self.slot}")
+        if self.addr < 0:
+            raise ValueError(f"addr must be >= 0, got {self.addr}")
+        if not 0 <= self.bit < STUCK_BITS:
+            raise ValueError(f"bit must be in 0..15, got {self.bit}")
+
+    @property
+    def bitpos(self) -> int:
+        """Bit position within the byte (0 = LSB)."""
+        return self.bit & 7
+
+    @property
+    def value(self) -> int:
+        """The forced value (0 or 1)."""
+        return self.bit >> 3
+
+
+@dataclass(frozen=True)
+class StuckAtFaultSpace:
+    """``Δt × Δm_bytes × 16`` stuck-at coordinates."""
+
+    cycles: int
+    ram_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 1:
+            raise ValueError("fault space needs at least one cycle")
+        if self.ram_bytes < 1:
+            raise ValueError("fault space needs at least one RAM byte")
+
+    @property
+    def byte_units(self) -> int:
+        """Coordinates per injection slot."""
+        return self.ram_bytes * STUCK_BITS
+
+    @property
+    def size(self) -> int:
+        return self.cycles * self.byte_units
+
+    def contains(self, coord: StuckAtCoordinate) -> bool:
+        return (1 <= coord.slot <= self.cycles
+                and 0 <= coord.addr < self.ram_bytes)
+
+    def coordinate(self, index: int) -> StuckAtCoordinate:
+        """Flat index → coordinate, row-major over (slot, addr, bit)."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} outside fault space")
+        slot, rest = divmod(index, self.byte_units)
+        addr, bit = divmod(rest, STUCK_BITS)
+        return StuckAtCoordinate(slot=slot + 1, addr=addr, bit=bit)
+
+    def index(self, coord: StuckAtCoordinate) -> int:
+        """Inverse of :meth:`coordinate`."""
+        if not self.contains(coord):
+            raise IndexError(f"{coord} outside fault space")
+        return ((coord.slot - 1) * self.byte_units
+                + coord.addr * STUCK_BITS + coord.bit)
+
+    def iter_coordinates(self):
+        for slot in range(1, self.cycles + 1):
+            for addr in range(self.ram_bytes):
+                for bit in range(STUCK_BITS):
+                    yield StuckAtCoordinate(slot=slot, addr=addr, bit=bit)
+
+
+@dataclass(frozen=True)
+class StuckAtInterval:
+    """One equivalence class covering all 16 experiments of one byte."""
+
+    addr: int
+    first_slot: int
+    last_slot: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.first_slot > self.last_slot:
+            raise ValueError(
+                f"empty interval [{self.first_slot}, {self.last_slot}]")
+        if self.kind not in (LIVE, DEAD):
+            raise ValueError(f"bad kind {self.kind!r}")
+
+    @property
+    def length(self) -> int:
+        return self.last_slot - self.first_slot + 1
+
+    @property
+    def weight_bits(self) -> int:
+        return self.length * STUCK_BITS
+
+    @property
+    def injection_slot(self) -> int:
+        return self.last_slot
+
+    def covers(self, slot: int) -> bool:
+        return self.first_slot <= slot <= self.last_slot
+
+    def experiments(self) -> list[StuckAtCoordinate]:
+        if self.kind != LIVE:
+            raise ValueError("dead classes need no experiments")
+        return [StuckAtCoordinate(slot=self.last_slot, addr=self.addr,
+                                  bit=b)
+                for b in range(STUCK_BITS)]
+
+
+@dataclass
+class StuckAtPartition:
+    """Def/use partition of the stuck-at fault space."""
+
+    fault_space: StuckAtFaultSpace
+    intervals: dict[int, list[StuckAtInterval]] = field(
+        default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, trace: MemoryTrace,
+                   fault_space: StuckAtFaultSpace) -> "StuckAtPartition":
+        if trace.total_slots != fault_space.cycles:
+            raise ValueError(
+                f"trace covers {trace.total_slots} slots but fault space "
+                f"has {fault_space.cycles} cycles")
+        partition = cls(fault_space=fault_space)
+        total = fault_space.cycles
+        for addr in range(fault_space.ram_bytes):
+            intervals: list[StuckAtInterval] = []
+            prev_slot = 0  # machine reset defines every byte at slot 0
+            for event in trace.accesses(addr):
+                if event.slot > total or event.slot <= prev_slot:
+                    raise ValueError(
+                        f"bad trace event for byte {addr} at {event.slot}")
+                intervals.append(StuckAtInterval(
+                    addr=addr, first_slot=prev_slot + 1,
+                    last_slot=event.slot,
+                    kind=LIVE if event.is_read else DEAD))
+                prev_slot = event.slot
+            if prev_slot < total:
+                intervals.append(StuckAtInterval(
+                    addr=addr, first_slot=prev_slot + 1, last_slot=total,
+                    kind=DEAD))
+            partition.intervals[addr] = intervals
+        return partition
+
+    def byte_intervals(self, addr: int) -> list[StuckAtInterval]:
+        return self.intervals.get(addr, [])
+
+    def live_classes(self) -> list[StuckAtInterval]:
+        live = [iv for ivs in self.intervals.values() for iv in ivs
+                if iv.kind == LIVE]
+        live.sort(key=lambda iv: (iv.injection_slot, iv.addr))
+        return live
+
+    def dead_classes(self) -> list[StuckAtInterval]:
+        return [iv for ivs in self.intervals.values() for iv in ivs
+                if iv.kind == DEAD]
+
+    def locate(self, coord: StuckAtCoordinate) -> StuckAtInterval:
+        if not self.fault_space.contains(coord):
+            raise IndexError(f"{coord} outside fault space")
+        intervals = self.intervals[coord.addr]
+        starts = [iv.first_slot for iv in intervals]
+        idx = bisect.bisect_right(starts, coord.slot) - 1
+        interval = intervals[idx]
+        if not interval.covers(coord.slot):  # pragma: no cover
+            raise AssertionError(f"partition hole at {coord}")
+        return interval
+
+    @property
+    def experiment_count(self) -> int:
+        return STUCK_BITS * sum(
+            1 for ivs in self.intervals.values() for iv in ivs
+            if iv.kind == LIVE)
+
+    @property
+    def live_weight(self) -> int:
+        return sum(iv.weight_bits for ivs in self.intervals.values()
+                   for iv in ivs if iv.kind == LIVE)
+
+    @property
+    def known_no_effect_weight(self) -> int:
+        return sum(iv.weight_bits for ivs in self.intervals.values()
+                   for iv in ivs if iv.kind == DEAD)
+
+    @property
+    def total_weight(self) -> int:
+        return sum(iv.weight_bits for ivs in self.intervals.values()
+                   for iv in ivs)
+
+    def validate(self) -> None:
+        total = self.fault_space.cycles
+        for addr, intervals in self.intervals.items():
+            expected = 1
+            for iv in intervals:
+                assert iv.first_slot == expected, (addr, iv)
+                expected = iv.last_slot + 1
+            assert expected == total + 1, (addr, expected)
+        assert self.total_weight == self.fault_space.size
+
+    def reduction_factor(self) -> float:
+        experiments = self.experiment_count
+        if experiments == 0:
+            return float("inf")
+        return self.fault_space.size / experiments

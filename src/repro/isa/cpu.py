@@ -34,6 +34,8 @@ from .tracing import MemoryTrace, READ, WRITE
 
 #: Register file + pc + serial length, packed for hashing.
 _DIGEST_TAIL = Struct(f"<{NUM_REGS}III")
+#: Armed stuck-at latch (addr, bit, value), packed for hashing.
+_STUCK_TAIL = Struct("<IBB")
 #: Digest width in bytes.  128 bits: collisions are negligible even
 #: across the billions of checkpoint comparisons a campaign performs,
 #: which matters because a colliding digest would silently misclassify
@@ -41,7 +43,8 @@ _DIGEST_TAIL = Struct(f"<{NUM_REGS}III")
 DIGEST_SIZE = 16
 
 
-def state_digest(ram, regs, pc: int, serial_len: int) -> bytes:
+def state_digest(ram, regs, pc: int, serial_len: int,
+                 stuck: tuple | None = None) -> bytes:
     """Deterministic digest of the machine state that drives execution.
 
     Covers exactly the mutable state a deterministic continuation
@@ -50,6 +53,13 @@ def state_digest(ram, regs, pc: int, serial_len: int) -> bytes:
     excluded — output never feeds back into execution — and so are the
     cycle counter, the halt flag and past ``detect`` events, which the
     convergence machinery accounts for separately.
+
+    An armed stuck-at latch (``stuck = (addr, bit, value)``) *is*
+    mixed in: a machine carrying a latch can behave differently from a
+    latch-free machine with identical RAM once the latched byte is
+    rewritten, so its digest must never collide with a golden
+    checkpoint (golden runs are always latch-free).  The latch-free
+    digest is unchanged from the pre-stuck-at format.
 
     blake2b (not ``hash()``) because the digest must agree across
     processes: the golden ladder is computed in the campaign driver and
@@ -60,6 +70,8 @@ def state_digest(ram, regs, pc: int, serial_len: int) -> bytes:
                 else ram, digest_size=DIGEST_SIZE)
     h.update(_DIGEST_TAIL.pack(*regs, pc & WORD_MASK,
                                serial_len & WORD_MASK))
+    if stuck is not None:
+        h.update(_STUCK_TAIL.pack(*stuck))
     return h.digest()
 
 
@@ -79,10 +91,13 @@ class MachineState:
     serial: bytes
     detections: tuple
     diverged: bool = False
+    #: Armed stuck-at latch ``(addr, bit, value)``, or ``None``.
+    stuck: tuple | None = None
 
     def state_digest(self) -> bytes:
         """Digest of the snapshot's execution-relevant state."""
-        return state_digest(self.ram, self.regs, self.pc, len(self.serial))
+        return state_digest(self.ram, self.regs, self.pc,
+                            len(self.serial), self.stuck)
 
 
 class Machine:
@@ -136,6 +151,9 @@ class Machine:
         self.diverged = False
         self.serial = bytearray()
         self.detections: list[tuple[int, int]] = []
+        #: Armed stuck-at latch ``(addr, bit, value)``, cleared by the
+        #: first store covering ``addr`` (write wins).
+        self._stuck: tuple | None = None
         # Bind the memory accessors for this machine's tracing mode once,
         # instead of testing ``self.tracer is not None`` on every load and
         # store of the campaign hot loop (tracing is only ever on during
@@ -158,6 +176,7 @@ class Machine:
             serial=bytes(self.serial),
             detections=tuple(self.detections),
             diverged=self.diverged,
+            stuck=self._stuck,
         )
 
     def restore(self, state: MachineState) -> None:
@@ -170,6 +189,7 @@ class Machine:
         self.diverged = state.diverged
         self.serial = bytearray(state.serial)
         self.detections = list(state.detections)
+        self._stuck = state.stuck
 
     def state_digest(self) -> bytes:
         """Digest of the current execution-relevant state.
@@ -179,7 +199,8 @@ class Machine:
         suffixes — the foundation of the campaign layer's convergence
         early-exit.  See :func:`state_digest` for what is covered.
         """
-        return state_digest(self.ram, self.regs, self.pc, len(self.serial))
+        return state_digest(self.ram, self.regs, self.pc,
+                            len(self.serial), self._stuck)
 
     # -- fault injection -----------------------------------------------------
 
@@ -201,6 +222,36 @@ class Machine:
         if not 0 <= bit < 32:
             raise ValueError(f"bit index {bit} out of range")
         self.regs[reg] ^= 1 << bit
+
+    def flip_pc_bit(self, bit: int) -> None:
+        """Flip one bit of the program counter (PC fault model)."""
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit index {bit} out of range")
+        self.pc ^= 1 << bit
+
+    def stuck_at(self, addr: int, bit: int, value: int) -> None:
+        """Arm a stuck-at-until-write fault and force the bit now.
+
+        From this instant the latch holds RAM bit ``(addr, bit)`` at
+        ``value``.  Between stores nothing else can change the bit, so
+        forcing it once here and releasing on the next covering store
+        (see :meth:`_store_raw`) implements the model exactly.  Only
+        one latch can be armed at a time — the paper's single-fault
+        assumption.
+        """
+        if not 0 <= addr < len(self.ram):
+            raise ValueError(f"stuck-at address {addr:#x} outside RAM")
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index {bit} out of range")
+        if value not in (0, 1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {value}")
+        if self._stuck is not None:
+            raise ValueError("a stuck-at fault is already armed")
+        self._stuck = (addr, bit, value)
+        if value:
+            self.ram[addr] |= 1 << bit
+        else:
+            self.ram[addr] &= ~(1 << bit) & 0xFF
 
     # -- execution -----------------------------------------------------------
 
@@ -322,6 +373,11 @@ class Machine:
                 f"store of {width} bytes at {addr:#x} outside RAM",
                 pc=self.pc - 1, cycle=self.cycle)
         self.ram[addr: addr + width] = value.to_bytes(width, "little")
+        stuck = self._stuck
+        if stuck is not None and addr <= stuck[0] < addr + width:
+            # Write wins: the first store covering the latched byte
+            # releases the latch; the stored value stands unmodified.
+            self._stuck = None
 
     def _store_traced(self, addr: int, width: int, value: int) -> None:
         self._store_raw(addr, width, value)

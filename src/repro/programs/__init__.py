@@ -1,25 +1,32 @@
 """Benchmark programs: the paper's examples and kernel-test analogs."""
 
-from . import bin_sem2, guarded, hi, micro, sync2
+from . import bin_sem2, chain, guarded, hi, micro, msgq, prio, sync2
 from .registry import (
     BenchmarkPair,
+    KernelBenchmark,
     all_programs,
     guarded_variants,
     hi_variants,
+    kernel_benchmarks,
     micro_programs,
     paper_pairs,
 )
 
 __all__ = [
     "BenchmarkPair",
+    "KernelBenchmark",
     "all_programs",
     "bin_sem2",
+    "chain",
     "guarded",
     "guarded_variants",
     "hi",
     "hi_variants",
+    "kernel_benchmarks",
     "micro",
     "micro_programs",
+    "msgq",
     "paper_pairs",
+    "prio",
     "sync2",
 ]

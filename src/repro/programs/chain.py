@@ -1,0 +1,128 @@
+"""A three-stage producer/transformer/consumer pipeline kernel test.
+
+Three threads pass values through two capacity-one handoff cells:
+
+* thread 0 (producer, main) writes ``i * VALUE_STEP`` into the first
+  cell for each item, then blocks on the "consumer done" flag and
+  verifies the consumer's accumulator against the closed form;
+* thread 1 (transformer) reads the first cell, applies ``y = 2x + 3``
+  and forwards the result through the second cell;
+* thread 2 (consumer) folds each transformed value into an accumulator
+  word and raises the done flag after the last item.
+
+Each link is a classic semaphore pair (full/free), so every item forces
+at least two scheduler round trips — the chain shape stresses the
+kernel's context-switch path far more than the two-thread benchmarks.
+The cells and the accumulator are application data and stay unprotected
+in both variants; the hardened variant protects the kernel objects
+(TCBs, semaphores, flags) with SUM+DMR exactly like ``sync2``.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program
+from ..kernel.builder import KernelBuilder
+
+#: Items pushed through the pipeline per run.
+DEFAULT_ITEMS = 6
+#: The producer emits ``i * VALUE_STEP`` for item ``i`` (1-based).
+VALUE_STEP = 5
+#: Flag bit the consumer raises when it is done.
+DONE_BIT = 1
+
+
+def transform(value: int) -> int:
+    """The transformer stage's function."""
+    return 2 * value + 3
+
+
+def expected_accumulator(items: int) -> int:
+    """Sum the consumer accumulates over a fault-free run."""
+    return sum(transform(i * VALUE_STEP) for i in range(1, items + 1))
+
+
+def _build(*, protect: bool, items: int, name: str) -> Program:
+    if items < 1:
+        raise ValueError("need at least one item")
+    kb = KernelBuilder(n_threads=3, protect=protect)
+    kb.add_semaphore("s1_full", initial=0)
+    kb.add_semaphore("s1_free", initial=1)
+    kb.add_semaphore("s2_full", initial=0)
+    kb.add_semaphore("s2_free", initial=1)
+    kb.add_flag("f_done")
+    kb.add_word("cell1", init=0)          # application data: unprotected
+    kb.add_word("cell2", init=0)          # application data: unprotected
+    kb.add_word("acc", init=0)            # application data: unprotected
+
+    body0 = [
+        f"addi r3, zero, {items}",
+        "addi r5, zero, 1",             # item counter i = 1..items
+        "p_loop:",
+        "call s1_free_wait",
+        f"addi r7, zero, {VALUE_STEP}",
+        "mul  r1, r5, r7",              # value = i * step
+        "call cell1_store",
+        "call s1_full_post",
+        "li   r7, 'p'",
+        "out  r7",
+        "addi r5, r5, 1",
+        "addi r3, r3, -1",
+        "bnez r3, p_loop",
+        f"addi r1, zero, {DONE_BIT}",
+        "call f_done_wait",
+        "call acc_load",
+        f"li   r6, {expected_accumulator(items)}",
+        "bne  r1, r6, v_fail",
+        "li   r7, '!'",
+        "out  r7",
+        "halt",
+        "v_fail:",
+        "li   r7, 'X'",
+        "out  r7",
+        "halt",
+    ]
+    body1 = [
+        f"addi r3, zero, {items}",
+        "t_loop:",
+        "call s1_full_wait",
+        "call cell1_load",
+        "call s1_free_post",
+        "slli r1, r1, 1",               # y = 2x + 3
+        "addi r1, r1, 3",
+        "call s2_free_wait",
+        "call cell2_store",
+        "call s2_full_post",
+        "addi r3, r3, -1",
+        "bnez r3, t_loop",
+    ]
+    body2 = [
+        f"addi r3, zero, {items}",
+        "c_loop:",
+        "call s2_full_wait",
+        "call cell2_load",
+        "call s2_free_post",
+        "addi r6, r1, 0",
+        "call acc_load",
+        "add  r1, r1, r6",
+        "call acc_store",
+        "li   r7, '.'",
+        "out  r7",
+        "addi r3, r3, -1",
+        "bnez r3, c_loop",
+        f"addi r1, zero, {DONE_BIT}",
+        "call f_done_set",
+    ]
+    kb.set_thread_body(0, body0)
+    kb.set_thread_body(1, body1)
+    kb.set_thread_body(2, body2)
+    return kb.build(name)
+
+
+def baseline(items: int = DEFAULT_ITEMS) -> Program:
+    """Unprotected pipeline chain."""
+    return _build(protect=False, items=items, name="chain")
+
+
+def hardened(items: int = DEFAULT_ITEMS) -> Program:
+    """SUM+DMR-hardened variant: kernel objects protected."""
+    return _build(protect=True, items=items, name="chain-sumdmr")

@@ -1,0 +1,147 @@
+"""A bounded message-queue kernel test (ring buffer + index words).
+
+A producer/consumer pair communicates through a circular ring smaller
+than the item count, so the run exercises every wrap-around path:
+
+* thread 0 (producer, main) enqueues ``i * VALUE_STEP`` at the head
+  index under the queue mutex, advancing and wrapping ``head``; item
+  and space counting semaphores provide the blocking;
+* thread 1 (consumer) dequeues at the tail index, folds the value into
+  an accumulator and advances/wraps ``tail``.
+
+After the done flag the producer verifies the accumulator *and* that
+``head == tail`` — a fault that desynchronizes the index words (the
+queue's critical kernel-adjacent state) is caught even when the sum
+happens to survive.  The ring, the index words and the accumulator are
+application data and stay unprotected in both variants; the hardened
+variant protects the kernel objects with SUM+DMR.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program
+from ..kernel.builder import KernelBuilder
+
+#: Messages passed through the queue per run.
+DEFAULT_ITEMS = 7
+#: Ring capacity in messages; below DEFAULT_ITEMS to force wrap-around.
+DEFAULT_CAPACITY = 3
+#: Value enqueued for item ``i`` (1-based) is ``i * VALUE_STEP``.
+VALUE_STEP = 6
+#: Flag bit the consumer raises when it is done.
+DONE_BIT = 1
+
+
+def expected_accumulator(items: int) -> int:
+    """Sum the consumer accumulates over a fault-free run."""
+    return VALUE_STEP * items * (items + 1) // 2
+
+
+def _wrap(reg: str, capacity: int, label: str) -> list[str]:
+    """Advance index ``reg`` by one, wrapping at ``capacity``."""
+    return [
+        f"addi {reg}, {reg}, 1",
+        f"slti r7, {reg}, {capacity}",
+        f"bnez r7, {label}",
+        f"addi {reg}, zero, 0",
+        f"{label}:",
+    ]
+
+
+def _build(*, protect: bool, items: int, capacity: int,
+           name: str) -> Program:
+    if items < 1:
+        raise ValueError("need at least one item")
+    if capacity < 1:
+        raise ValueError("need at least one ring slot")
+    kb = KernelBuilder(n_threads=2, protect=protect)
+    kb.add_mutex("mtx")
+    kb.add_semaphore("s_items", initial=0)
+    kb.add_semaphore("s_space", initial=capacity)
+    kb.add_flag("f_done")
+    kb.add_buffer("ring", n_words=capacity)  # application data
+    kb.add_word("head", init=0)
+    kb.add_word("tail", init=0)
+    kb.add_word("acc", init=0)
+
+    body0 = [
+        f"addi r3, zero, {items}",
+        "addi r5, zero, 1",             # item counter i = 1..items
+        "p_loop:",
+        "call s_space_wait",
+        "call mtx_lock",
+        "call head_load",
+        "addi r6, r1, 0",               # slot = head
+        f"addi r7, zero, {VALUE_STEP}",
+        "mul  r2, r5, r7",              # value = i * step
+        "addi r1, r6, 0",
+        "call ring_put",
+        *_wrap("r6", capacity, "p_nowrap"),
+        "addi r1, r6, 0",
+        "call head_store",
+        "call mtx_unlock",
+        "call s_items_post",
+        "li   r7, 'p'",
+        "out  r7",
+        "addi r5, r5, 1",
+        "addi r3, r3, -1",
+        "bnez r3, p_loop",
+        f"addi r1, zero, {DONE_BIT}",
+        "call f_done_wait",
+        # Verify the accumulator, then that the index words re-aligned.
+        "call acc_load",
+        f"li   r6, {expected_accumulator(items)}",
+        "bne  r1, r6, v_fail",
+        "call head_load",
+        "addi r6, r1, 0",
+        "call tail_load",
+        "bne  r1, r6, v_fail",
+        "li   r7, '!'",
+        "out  r7",
+        "halt",
+        "v_fail:",
+        "li   r7, 'X'",
+        "out  r7",
+        "halt",
+    ]
+    body1 = [
+        f"addi r3, zero, {items}",
+        "c_loop:",
+        "call s_items_wait",
+        "call mtx_lock",
+        "call tail_load",
+        "addi r5, r1, 0",               # slot = tail
+        "call ring_get",                # r1 = ring[tail]
+        "addi r6, r1, 0",
+        "call acc_load",
+        "add  r1, r1, r6",
+        "call acc_store",
+        *_wrap("r5", capacity, "c_nowrap"),
+        "addi r1, r5, 0",
+        "call tail_store",
+        "call mtx_unlock",
+        "call s_space_post",
+        "li   r7, '.'",
+        "out  r7",
+        "addi r3, r3, -1",
+        "bnez r3, c_loop",
+        f"addi r1, zero, {DONE_BIT}",
+        "call f_done_set",
+    ]
+    kb.set_thread_body(0, body0)
+    kb.set_thread_body(1, body1)
+    return kb.build(name)
+
+
+def baseline(items: int = DEFAULT_ITEMS,
+             capacity: int = DEFAULT_CAPACITY) -> Program:
+    """Unprotected message queue."""
+    return _build(protect=False, items=items, capacity=capacity,
+                  name="msgq")
+
+
+def hardened(items: int = DEFAULT_ITEMS,
+             capacity: int = DEFAULT_CAPACITY) -> Program:
+    """SUM+DMR-hardened variant: kernel objects protected."""
+    return _build(protect=True, items=items, capacity=capacity,
+                  name="msgq-sumdmr")

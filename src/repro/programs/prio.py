@@ -1,0 +1,134 @@
+"""A priority-inversion mutex kernel test (three contending threads).
+
+The classic Mars-Pathfinder shape, mapped onto the cooperative
+round-robin kernel (priorities exist in the scenario, not the
+scheduler):
+
+* thread 2 ("low") acquires the shared resource mutex first, prints
+  ``L``, releases the "go" flag and then sits in its critical section
+  for ``HOLD_YIELDS`` scheduler round trips before bumping the shared
+  work word, printing ``l`` and unlocking;
+* thread 0 ("high", main) requests the same mutex one yield later
+  (prints ``h``) and spins in the mutex wait loop until low releases —
+  the inversion window;
+* thread 1 ("medium") runs unrelated work during exactly that window:
+  ``M_WORK`` iterations bumping its own counter and printing ``M``.
+
+The serial trace therefore *shows* the inversion (``L h M ... l H``),
+and the final verification — high checks the work word saw both
+critical sections and medium's counter hit ``M_WORK`` — turns any
+fault that corrupts the mutex, the flags or the counters into a
+detectable wrong-output run.  Both counters are application data and
+stay unprotected; the hardened variant protects the kernel objects
+with SUM+DMR.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program
+from ..kernel.builder import KernelBuilder
+
+#: Scheduler round trips low spends inside its critical section.
+DEFAULT_HOLD_YIELDS = 4
+#: Iterations of medium's unrelated work.
+DEFAULT_M_WORK = 3
+#: Flag bit low raises to start medium's work.
+GO_BIT = 1
+#: Flag bit medium raises when its work is done.
+MDONE_BIT = 1
+#: The work word's expected final value: one bump per critical section.
+EXPECTED_WORK = 2
+
+
+def _build(*, protect: bool, hold_yields: int, m_work: int,
+           name: str) -> Program:
+    if hold_yields < 1:
+        raise ValueError("low must hold the lock for at least one yield")
+    if m_work < 1:
+        raise ValueError("medium needs at least one work iteration")
+    kb = KernelBuilder(n_threads=3, protect=protect)
+    kb.add_mutex("res")
+    kb.add_flag("f_go")
+    kb.add_flag("f_mdone")
+    kb.add_word("work", init=0)           # application data: unprotected
+    kb.add_word("mcount", init=0)         # application data: unprotected
+
+    body0 = [                             # high priority (main)
+        "call __yield",                   # let low grab the resource
+        "li   r7, 'h'",                   # high now requests the lock
+        "out  r7",
+        "call res_lock",                  # blocks across the inversion
+        "li   r7, 'H'",
+        "out  r7",
+        "call work_load",
+        "addi r1, r1, 1",
+        "call work_store",
+        "call res_unlock",
+        f"addi r1, zero, {MDONE_BIT}",
+        "call f_mdone_wait",
+        "call work_load",
+        f"addi r6, zero, {EXPECTED_WORK}",
+        "bne  r1, r6, v_fail",
+        "call mcount_load",
+        f"addi r6, zero, {m_work}",
+        "bne  r1, r6, v_fail",
+        "li   r7, '!'",
+        "out  r7",
+        "halt",
+        "v_fail:",
+        "li   r7, 'X'",
+        "out  r7",
+        "halt",
+    ]
+    body1 = [                             # medium priority
+        f"addi r1, zero, {GO_BIT}",
+        "call f_go_wait",
+        f"addi r3, zero, {m_work}",
+        "m_loop:",
+        "call mcount_load",
+        "addi r1, r1, 1",
+        "call mcount_store",
+        "li   r7, 'M'",
+        "out  r7",
+        "call __yield",
+        "addi r3, r3, -1",
+        "bnez r3, m_loop",
+        f"addi r1, zero, {MDONE_BIT}",
+        "call f_mdone_set",
+    ]
+    body2 = [                             # low priority
+        "call res_lock",
+        "li   r7, 'L'",
+        "out  r7",
+        f"addi r1, zero, {GO_BIT}",
+        "call f_go_set",
+        f"addi r3, zero, {hold_yields}",
+        "l_hold:",
+        "call __yield",
+        "addi r3, r3, -1",
+        "bnez r3, l_hold",
+        "call work_load",
+        "addi r1, r1, 1",
+        "call work_store",
+        "li   r7, 'l'",
+        "out  r7",
+        "call res_unlock",
+    ]
+    kb.set_thread_body(0, body0)
+    kb.set_thread_body(1, body1)
+    kb.set_thread_body(2, body2)
+    return kb.build(name)
+
+
+def baseline(hold_yields: int = DEFAULT_HOLD_YIELDS,
+             m_work: int = DEFAULT_M_WORK) -> Program:
+    """Unprotected priority-inversion scenario."""
+    return _build(protect=False, hold_yields=hold_yields, m_work=m_work,
+                  name="prio")
+
+
+def hardened(hold_yields: int = DEFAULT_HOLD_YIELDS,
+             m_work: int = DEFAULT_M_WORK) -> Program:
+    """SUM+DMR-hardened variant: kernel objects protected."""
+    return _build(protect=True, hold_yields=hold_yields, m_work=m_work,
+                  name="prio-sumdmr")

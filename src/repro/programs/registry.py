@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..isa.assembler import Program
-from . import bin_sem2, guarded, hi, micro, sync2
+from . import bin_sem2, chain, guarded, hi, micro, msgq, prio, sync2
 
 ProgramThunk = Callable[[], Program]
 
@@ -24,6 +24,26 @@ class BenchmarkPair:
     name: str
     baseline: ProgramThunk
     hardened: ProgramThunk
+    description: str
+
+
+@dataclass(frozen=True)
+class KernelBenchmark:
+    """Registry metadata for one kernel workload.
+
+    ``expected_fault_space`` is the memory-domain fault-space size
+    (``Δt × Δm × 8``) of the *baseline* at default parameters — golden
+    runs are deterministic, so the registry can pin the exact number
+    and the program tests assert it, catching accidental changes to a
+    benchmark's runtime or footprint (which would silently shift every
+    weighted comparison built on it).
+    """
+
+    name: str
+    category: str
+    baseline: ProgramThunk
+    hardened: ProgramThunk | None
+    expected_fault_space: int
     description: str
 
 
@@ -44,6 +64,40 @@ def paper_pairs() -> list[BenchmarkPair]:
             description=("mutex/semaphore/flag producer-consumer kernel "
                          "test; SUM+DMR overhead makes it worse despite "
                          "better coverage"),
+        ),
+    ]
+
+
+def kernel_benchmarks() -> list[KernelBenchmark]:
+    """The kernel workload suite beyond the paper's two benchmarks."""
+    return [
+        KernelBenchmark(
+            name="chain",
+            category="pipeline",
+            baseline=chain.baseline,
+            hardened=chain.hardened,
+            expected_fault_space=6_332_928,
+            description=("three-stage producer/transformer/consumer "
+                         "pipeline over two capacity-one handoff cells"),
+        ),
+        KernelBenchmark(
+            name="msgq",
+            category="queue",
+            baseline=msgq.baseline,
+            hardened=msgq.hardened,
+            expected_fault_space=3_718_080,
+            description=("bounded circular message queue with wrapping "
+                         "head/tail index words under a mutex"),
+        ),
+        KernelBenchmark(
+            name="prio",
+            category="mutex",
+            baseline=prio.baseline,
+            hardened=prio.hardened,
+            expected_fault_space=3_065_440,
+            description=("priority-inversion scenario: low holds the "
+                         "resource mutex while high blocks and medium "
+                         "runs unrelated work"),
         ),
     ]
 
@@ -87,4 +141,8 @@ def all_programs() -> dict[str, ProgramThunk]:
     for pair in paper_pairs():
         programs[pair.name] = pair.baseline
         programs[f"{pair.name}-sumdmr"] = pair.hardened
+    for bench in kernel_benchmarks():
+        programs[bench.name] = bench.baseline
+        if bench.hardened is not None:
+            programs[f"{bench.name}-sumdmr"] = bench.hardened
     return programs

@@ -37,12 +37,16 @@ def golden():
 
 
 def _experiments(result) -> int:
-    """Total experiments of a full scan: live classes × domain bits."""
-    return len(result.partition.live_classes()) * result.domain.bits
+    """Total experiments of a full scan, summed per live class (the
+    per-class count is domain-dependent: 8 bits for memory, one grouped
+    representative for pc, ...)."""
+    return sum(result.domain.experiment_count(interval)
+               for interval in result.partition.live_classes())
 
 
 class TestWarmEqualsCold:
-    @pytest.mark.parametrize("domain", ["memory", "register"])
+    @pytest.mark.parametrize(
+        "domain", ["memory", "register", "burst2", "stuck", "pc"])
     @pytest.mark.parametrize("jobs", [None, 2])
     def test_full_scan_composes_bit_for_bit(self, tmp_path, golden,
                                             domain, jobs):

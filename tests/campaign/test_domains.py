@@ -48,8 +48,9 @@ def register_serial(golden):
 
 
 class TestDomainRegistry:
-    def test_registry_has_both_domains(self):
-        assert set(DOMAINS) == {"memory", "register"}
+    def test_registry_has_all_domains(self):
+        assert set(DOMAINS) == {"memory", "register", "burst2", "burst4",
+                                "stuck", "pc"}
         assert DOMAINS["memory"] is MEMORY
         assert DOMAINS["register"] is REGISTER
 

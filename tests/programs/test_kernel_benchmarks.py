@@ -1,4 +1,5 @@
-"""Tests for the bin_sem2/sync2 kernel-test analogs.
+"""Tests for the kernel workloads: the paper's bin_sem2/sync2 analogs
+and the kernel benchmark suite (chain/msgq/prio).
 
 Full campaigns on the default sizes are benchmark-harness material; the
 tests here use reduced sizes to stay fast while checking the same
@@ -8,10 +9,12 @@ structure.
 import pytest
 
 from repro.campaign import record_golden
-from repro.programs import bin_sem2, sync2
+from repro.faultspace import MEMORY
+from repro.programs import bin_sem2, chain, msgq, prio, sync2
 from repro.programs.registry import (
     all_programs,
     hi_variants,
+    kernel_benchmarks,
     micro_programs,
     paper_pairs,
 )
@@ -68,6 +71,102 @@ class TestSync2:
     def test_zero_items_rejected(self):
         with pytest.raises(ValueError):
             sync2.baseline(items=0)
+
+
+class TestChain:
+    def test_golden_output(self):
+        golden = record_golden(chain.baseline(items=3))
+        assert golden.output == b"p.p.p.!"
+
+    def test_hardened_same_output_with_overhead(self):
+        base = record_golden(chain.baseline(items=3))
+        hard = record_golden(chain.hardened(items=3))
+        assert hard.output == base.output
+        assert hard.cycles > base.cycles
+
+    def test_transform_applied_stage_by_stage(self):
+        assert chain.transform(5) == 13
+        assert chain.expected_accumulator(2) \
+            == chain.transform(5) + chain.transform(10)
+
+    def test_items_scale_runtime(self):
+        short = record_golden(chain.baseline(items=1))
+        long = record_golden(chain.baseline(items=4))
+        assert long.cycles > short.cycles
+        assert long.output == b"p.p.p.p.!"
+
+    def test_zero_items_rejected(self):
+        with pytest.raises(ValueError):
+            chain.baseline(items=0)
+
+
+class TestMsgq:
+    def test_golden_output_wraps_past_capacity(self):
+        """items > capacity forces both the queue-full and queue-empty
+        blocking paths and at least one head/tail wrap-around."""
+        golden = record_golden(msgq.baseline(items=5, capacity=2))
+        assert golden.output == b"pp..pp..p.!"
+
+    def test_hardened_same_output_with_overhead(self):
+        base = record_golden(msgq.baseline(items=4, capacity=2))
+        hard = record_golden(msgq.hardened(items=4, capacity=2))
+        assert hard.output == base.output
+        assert hard.cycles > base.cycles
+
+    def test_degenerate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            msgq.baseline(items=0)
+        with pytest.raises(ValueError):
+            msgq.baseline(items=3, capacity=0)
+
+    def test_expected_accumulator(self):
+        assert msgq.expected_accumulator(3) == 6 * 6
+        assert msgq.expected_accumulator(7) == 6 * 28
+
+
+class TestPrio:
+    def test_golden_output_orders_the_inversion(self):
+        """Low acquires first, high blocks on the held mutex, medium
+        runs its unrelated work, then low releases and high finishes —
+        the classic priority-inversion interleaving."""
+        golden = record_golden(prio.baseline())
+        assert golden.output == b"LhMMMlH!"
+
+    def test_medium_work_scales_the_inversion_window(self):
+        """A longer hold gives medium room for more work units, all of
+        it inside the window where high is blocked by low."""
+        golden = record_golden(prio.baseline(hold_yields=6, m_work=5))
+        assert golden.output == b"LhMMMMMlH!"
+
+    def test_hardened_same_output_with_overhead(self):
+        base = record_golden(prio.baseline())
+        hard = record_golden(prio.hardened())
+        assert hard.output == base.output
+        assert hard.cycles > base.cycles
+
+
+class TestKernelBenchmarkRegistry:
+    def test_suite_members_and_categories(self):
+        suite = kernel_benchmarks()
+        assert [(b.name, b.category) for b in suite] == [
+            ("chain", "pipeline"), ("msgq", "queue"), ("prio", "mutex")]
+
+    def test_expected_fault_space_pins_default_geometry(self):
+        """The registry's pinned Δt × Δm × 8 must match the measured
+        baseline — any drift in a benchmark's runtime or footprint
+        fails here before it can silently skew weighted comparisons."""
+        for bench in kernel_benchmarks():
+            golden = record_golden(bench.baseline())
+            assert MEMORY.fault_space(golden).size \
+                == bench.expected_fault_space, bench.name
+
+    def test_hardened_variants_registered_in_all_programs(self):
+        programs = all_programs()
+        for bench in kernel_benchmarks():
+            assert bench.name in programs
+            assert f"{bench.name}-sumdmr" in programs
+            assert programs[f"{bench.name}-sumdmr"]().name \
+                != programs[bench.name]().name
 
 
 class TestRegistry:

@@ -1,0 +1,161 @@
+"""Property-based tests for the new fault-model family.
+
+Hypothesis explores micro-program family × size × fault model
+combinations and checks the two invariants the new domains add to the
+methodology:
+
+* pruned equivalence-class weights always sum to the unpruned fault
+  space size — for every registered domain, including bursts (whose
+  per-slot weight is the number of start positions, not 8), stuck-at
+  (16 experiments per byte-slot) and pc (variable grouped-class
+  weights);
+* the stuck-at latch is cleared by exactly the first store covering
+  the latched byte — before it the bit reads back forced, afterwards
+  stores land unmodified ("write wins").
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.campaign import record_golden
+from repro.faultspace import DOMAINS, get_domain
+from repro.isa.cpu import Machine
+from repro.programs import micro
+
+#: family name -> (program factory, generated size range)
+FAMILIES = {
+    "counter": (micro.counter, (1, 3)),
+    "memcopy": (micro.memcopy, (1, 3)),
+    "checksum": (micro.checksum_loop, (1, 2)),
+    "stack_echo": (micro.stack_echo, (1, 2)),
+}
+
+_GOLDEN_CACHE: dict = {}
+
+
+def _golden(family: str, size: int):
+    """Golden runs are deterministic; cache them across examples."""
+    key = (family, size)
+    if key not in _GOLDEN_CACHE:
+        _GOLDEN_CACHE[key] = record_golden(FAMILIES[family][0](size))
+    return _GOLDEN_CACHE[key]
+
+
+@st.composite
+def programs(draw):
+    family = draw(st.sampled_from(sorted(FAMILIES)))
+    low, high = FAMILIES[family][1]
+    size = draw(st.integers(min_value=low, max_value=high))
+    return _golden(family, size)
+
+
+all_domains = st.sampled_from(sorted(DOMAINS))
+
+SETTINGS = settings(max_examples=15, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestClassCountInvariants:
+    @SETTINGS
+    @given(golden=programs(), domain=all_domains)
+    def test_pruned_class_weights_sum_to_space_size(self, golden, domain):
+        """Σ class weights == w for every registered fault model."""
+        domain = get_domain(domain)
+        partition = domain.build_partition(golden)
+        space = domain.fault_space(golden)
+        assert partition.total_weight == space.size
+        live = sum(iv.weight_bits for iv in partition.live_classes())
+        assert live + partition.known_no_effect_weight == space.size
+
+    @SETTINGS
+    @given(golden=programs(), domain=all_domains)
+    def test_every_coordinate_locates_into_exactly_one_class(self, golden,
+                                                             domain):
+        """Classes partition the space: locate() is total and the
+        located class's window really contains the coordinate."""
+        domain = get_domain(domain)
+        partition = domain.build_partition(golden)
+        space = domain.fault_space(golden)
+        step = max(1, space.size // 64)
+        for index in range(0, space.size, step):
+            coord = space.coordinate(index)
+            interval = partition.locate(coord)
+            assert interval.first_slot <= coord.slot <= interval.last_slot
+
+    @SETTINGS
+    @given(golden=programs(), domain=all_domains)
+    def test_experiment_hooks_are_consistent(self, golden, domain):
+        """index/coordinate round-trip and slot weights match counts."""
+        domain = get_domain(domain)
+        partition = domain.build_partition(golden)
+        for interval in partition.live_classes():
+            count = domain.experiment_count(interval)
+            weights = domain.experiment_slot_weights(interval)
+            assert len(weights) == count
+            assert interval.length * sum(weights) == interval.weight_bits
+            for idx, coord in enumerate(interval.experiments()):
+                assert domain.experiment_index(interval, coord) == idx
+                assert domain.experiment_coordinate(interval, idx) == coord
+
+
+class TestStuckAtLatchSemantics:
+    @SETTINGS
+    @given(golden=programs(),
+           slot_frac=st.floats(min_value=0.0, max_value=1.0),
+           addr_frac=st.floats(min_value=0.0, max_value=1.0),
+           bit=st.integers(min_value=0, max_value=7))
+    def test_latch_cleared_exactly_at_first_covering_write(
+            self, golden, slot_frac, addr_frac, bit):
+        """The latch is armed at every cycle before the first store
+        covering its byte and cleared exactly by that store.
+
+        The latch is armed with the bit's *current* value, so the run
+        provably follows the golden trajectory and the golden memory
+        trace gives the exact release schedule — the property isolates
+        the latch bookkeeping from fault-induced divergence.
+        """
+        slot = 1 + int(slot_frac * (golden.cycles - 1))
+        addr = int(addr_frac * (golden.program.ram_size - 1))
+        machine = Machine(golden.program)
+        machine.run_to_cycle(slot - 1)
+        value = (machine.ram[addr] >> bit) & 1
+        machine.stuck_at(addr, bit, value)
+        assert (machine.ram[addr] >> bit) & 1 == value
+        # First golden write to this byte at or after the arming slot
+        # (the trace expands multi-byte stores per covered byte).
+        release = next((e.slot for e in golden.trace.accesses(addr)
+                        if e.is_write and e.slot >= slot), None)
+        if release is None:
+            # No covering store: the latch stays armed to the end.
+            machine.run(golden.cycles + 1)
+            assert machine.halted
+            assert machine._stuck == (addr, bit, value)
+            return
+        while machine.cycle < release:
+            assert machine._stuck == (addr, bit, value)
+            machine.step()
+        assert machine._stuck is None
+
+    @SETTINGS
+    @given(golden=programs(),
+           bit=st.integers(min_value=0, max_value=7),
+           value=st.integers(min_value=0, max_value=1))
+    def test_arming_forces_the_bit_immediately(self, golden, bit, value):
+        """Arming writes the forced value into RAM on the spot."""
+        machine = Machine(golden.program)
+        machine.run_to_cycle(1)
+        machine.stuck_at(0, bit, value)
+        assert (machine.ram[0] >> bit) & 1 == value
+
+    @SETTINGS
+    @given(value=st.integers(min_value=0, max_value=1),
+           bit=st.integers(min_value=0, max_value=7))
+    def test_double_arm_rejected(self, value, bit):
+        """The single-fault assumption: arming twice is an error."""
+        import pytest
+
+        golden = _golden("counter", 1)
+        machine = Machine(golden.program)
+        machine.run_to_cycle(1)
+        machine.stuck_at(0, bit, value)
+        with pytest.raises(ValueError):
+            machine.stuck_at(0, bit, 1 - value)

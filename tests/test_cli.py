@@ -77,11 +77,28 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["scan", "hi", "--domain", "cache"])
 
-    def test_list_sizes_shows_both_domains(self, capsys):
+    def test_list_sizes_shows_every_registered_domain(self, capsys):
+        from repro.faultspace import DOMAINS
+
         main(["list", "--sizes"])
         out = capsys.readouterr().out
-        assert "w_mem=" in out
-        assert "w_reg=" in out
+        for line in out.strip().splitlines():
+            for name in DOMAINS:
+                assert f"w_{name}=" in line, (name, line)
+
+    def test_list_sizes_match_domain_fault_spaces(self, capsys):
+        from repro.campaign import record_golden
+        from repro.faultspace import DOMAINS
+        from repro.programs import hi
+
+        main(["list", "--sizes"])
+        out = capsys.readouterr().out
+        line = next(ln for ln in out.splitlines()
+                    if ln.startswith("hi "))
+        golden = record_golden(hi.baseline())
+        for name, domain in DOMAINS.items():
+            expected = domain.fault_space(golden).size
+            assert f"w_{name}={expected}" in line
 
     def test_render_hi(self, capsys):
         main(["render", "hi"])
