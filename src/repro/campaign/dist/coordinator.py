@@ -57,7 +57,8 @@ from ..journal import (
     ExperimentJournal,
     open_campaign,
 )
-from ..parallel import RetryPolicy, class_cost, plan_class_shards
+from ..parallel import (RetryPolicy, class_cost, plan_class_shards,
+                        tune_shard_count)
 from .leases import FAILED, LeaseBoard
 from .protocol import PROTOCOL_VERSION, ProtocolError, read_frame, write_frame
 
@@ -79,7 +80,11 @@ class DistCoordinator:
 
     ``shards`` fixes the lease granularity (finer shards rebalance
     better after node loss; coarser ones amortize more snapshot
-    fast-forwarding).  ``journal`` is where results and lease state
+    fast-forwarding).  ``expected_workers`` is an optional planning
+    hint: when set and the campaign's estimated cycle cost is small
+    (:data:`~repro.campaign.parallel.SMALL_CAMPAIGN_CYCLES`), the
+    granularity collapses to one shard per worker so lease round-trips
+    stop dominating tiny scans.  ``journal`` is where results and lease state
     persist — pass a real path to make the coordinator restartable;
     ``None`` journals to a private in-memory database, which still
     provides the idempotent-merge funnel but not crash tolerance.
@@ -95,6 +100,7 @@ class DistCoordinator:
                  executor_config: ExecutorConfig | None = None,
                  policy: RetryPolicy | None = None,
                  shards: int = DEFAULT_SHARDS,
+                 expected_workers: int | None = None,
                  journal=None, resume: bool = True,
                  keep_records: bool = False,
                  progress: ProgressCallback | None = None,
@@ -109,6 +115,7 @@ class DistCoordinator:
         self.config = dataclasses.replace(config, domain=self.domain.name)
         self.policy = policy or RetryPolicy()
         self.shards = shards
+        self.expected_workers = expected_workers
         self.journal = journal
         self.resume = resume
         self.keep_records = keep_records
@@ -197,14 +204,19 @@ class DistCoordinator:
                                self.report)
         self._by_key = {domain.class_key(interval): interval
                         for interval in live}
-        # Plan over the FULL live list: indices and key lists are then a
-        # pure function of the campaign, stable across restarts, and the
-        # journaled per-shard retry state stays meaningful.
-        planned, _ = plan_class_shards(live, golden.cycles,
-                                       bits=domain.bits, parts=self.shards)
         key_costs = {domain.class_key(interval):
                      class_cost(interval, golden.cycles, bits=domain.bits)
                      for interval in live}
+        # Plan over the FULL live list: indices and key lists are then a
+        # pure function of the campaign, stable across restarts, and the
+        # journaled per-shard retry state stays meaningful.  Small
+        # campaigns collapse the lease granularity to one shard per
+        # expected worker first (also a pure function of the arguments,
+        # so restarts with the same worker count re-derive it).
+        parts = tune_shard_count(sum(key_costs.values()), self.shards,
+                                 self.expected_workers)
+        planned, _ = plan_class_shards(live, golden.cycles,
+                                       bits=domain.bits, parts=parts)
         board = LeaseBoard(policy=self.policy, key_costs=key_costs)
         journaled_leases = handle.lease_states()
         for index, shard in enumerate(planned):
@@ -403,6 +415,8 @@ class DistCoordinator:
             self.report.executed += 1
             self.report.convergence_hits += int(frame.get("hits", 0))
             self.report.slice_hits += int(frame.get("skips", 0))
+            self.report.scalar_tail_experiments += int(
+                frame.get("tails", 0))
             self._worker_units[name] += 1
             self._done_count += 1
             self._accepted += 1
@@ -501,7 +515,8 @@ def run_distributed_scan(golden: GoldenRun, *, workers: int = 2,
     port = sock.getsockname()[1]
     coordinator = DistCoordinator(
         golden, domain=domain, executor_config=executor_config,
-        policy=policy, shards=shards, journal=journal, resume=resume,
+        policy=policy, shards=shards, expected_workers=workers,
+        journal=journal, resume=resume,
         keep_records=keep_records, progress=progress, sock=sock)
     import repro
 

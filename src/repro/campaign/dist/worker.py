@@ -280,6 +280,7 @@ class DistWorker:
                 return True
             hits0 = executor.convergence_hits
             skips0 = executor.slice_hits
+            tails0 = executor.scalar_tail_experiments
             records = executor.run_many(interval.experiments())
             self.executed += 1
             message = {
@@ -290,6 +291,7 @@ class DistWorker:
                          for bit, record in enumerate(records)],
                 "hits": executor.convergence_hits - hits0,
                 "skips": executor.slice_hits - skips0,
+                "tails": executor.scalar_tail_experiments - tails0,
             }
             self._chaos_tick()
             self._send(stream, message)

@@ -112,8 +112,11 @@ class ExecutorConfig:
     #: Execution-engine registry name (see :mod:`repro.engine`).  Like
     #: ``use_convergence`` this is outcome-invariant — the equivalence
     #: tests prove bit-for-bit identical campaign results across
-    #: engines — so it is not part of the journal campaign key.
-    engine: str = "compiled"
+    #: engines — so it is not part of the journal campaign key.  The
+    #: default ``auto`` resolves per campaign through the tier planner
+    #: (:mod:`repro.engine.plan`) when :meth:`build` sees the golden
+    #: run; naming a concrete engine pins it.
+    engine: str = "auto"
 
     def timeout_cycles(self, golden_cycles: int) -> int:
         """Cycle budget before a run is classified as a timeout.
@@ -132,16 +135,25 @@ class ExecutorConfig:
                    golden_cycles + self.timeout_slack)
 
     def build(self, golden: "GoldenRun",
-              executor_class: type | None = None) -> "ExperimentExecutor":
+              executor_class: type | None = None,
+              partition=None) -> "ExperimentExecutor":
         """Construct an executor for ``golden`` with these settings.
 
         The executor class follows the engine unless overridden: batch
         engines get the lockstep :class:`BatchExperimentExecutor`,
-        scalar engines the plain :class:`ExperimentExecutor`.
+        scalar engines the plain :class:`ExperimentExecutor`.  The
+        ``auto`` engine resolves here — the first point where the
+        golden run and domain are both known — so serial runners,
+        parallel workers and dist workers all plan identically and
+        deterministically.  ``partition`` hands the tier planner a
+        def/use partition the caller already built; without it the
+        planner builds (and caches) its own.
         """
+        engine = get_engine(self.engine).resolve(golden, self.domain,
+                                                 partition=partition)
         cls = executor_class
         if cls is None:
-            cls = (BatchExperimentExecutor if get_engine(self.engine).batch
+            cls = (BatchExperimentExecutor if engine.batch
                    else ExperimentExecutor)
         return cls(golden,
                    timeout_factor=self.timeout_factor,
@@ -150,7 +162,7 @@ class ExecutorConfig:
                    early_stop=self.early_stop,
                    use_convergence=self.use_convergence,
                    domain=self.domain,
-                   engine=self.engine)
+                   engine=engine)
 
 
 @dataclass(frozen=True)
@@ -221,6 +233,20 @@ class ExperimentExecutor:
         #: Checkpoint boundaries at which a digest was computed and
         #: compared (diagnostics: overhead per skipped tail).
         self.convergence_checks = 0
+        #: Lanes that left a lockstep pack by eviction and had to finish
+        #: on the scalar tier (always 0 for the scalar executor).  High
+        #: values mean packs are shredding on divergent control flow and
+        #: the batch tier is paying for lanes it cannot keep.
+        self.scalar_tail_experiments = 0
+        #: Evicted lanes whose scalar continuation rejoined the pack's
+        #: shared pc in phase and re-entered lockstep.
+        self.readmitted_lanes = 0
+        #: Lockstep packs opened, and lanes that entered one (at open
+        #: or by cross-slot/re-entry admission).  Their ratio is the
+        #: achieved mean pack width — the quantity the pack planner
+        #: maximizes (always 0 for the scalar executor).
+        self.packs_opened = 0
+        self.packed_lanes = 0
 
     def run(self, coordinate: FaultCoordinate) -> ExperimentRecord:
         """Run one experiment and classify its outcome."""
@@ -459,46 +485,88 @@ class ExperimentExecutor:
 
 
 class BatchExperimentExecutor(ExperimentExecutor):
-    """Executes same-slot experiment groups as lockstep vectorized lanes.
+    """Executes slot-sorted experiment groups as lockstep vectorized lanes.
 
     :meth:`run_many` splits its input into consecutive same-slot
-    stretches; each stretch shares one pre-injection snapshot and runs
-    as a :class:`~repro.engine.batch.LockstepLanes` batch — one numpy
-    op dispatch per cycle across all live lanes instead of one
-    interpreter pass per experiment.  Everything an experiment can do
-    maps back onto the scalar executor's own classification code:
+    stretches, then plans **packs** over them: a pack opens at the
+    first stretch's pre-injection snapshot and, whenever its shared
+    trajectory reaches a later stretch's injection cycle *on the golden
+    pc*, admits that stretch's freshly injected lanes in place
+    (:meth:`~repro.engine.batch.LockstepLanes.admit`).  Late slots with
+    a handful of live cells therefore ride along in a wide pack instead
+    of running thin ones — the planner aims for :data:`PACK_TARGET`
+    live lanes across the whole campaign.  Lane execution uses the
+    fused basic-block kernels (:mod:`repro.engine.fused`) with
+    automatic per-instruction fallback, so one dispatch covers a whole
+    block across all live lanes.  Everything an experiment can do maps
+    back onto the scalar executor's own classification code:
 
     * halt / trap / divergence lane exits go through
       :meth:`~ExperimentExecutor._classify_end` with exactly the values
       a scalar machine would hold;
     * control-flow eviction restores the lane's
       :class:`~repro.isa.cpu.MachineState` into the scalar (Tier-1)
-      machine and finishes via :meth:`~ExperimentExecutor._finish`;
+      machine, which catches up to the pack's current cycle; if it
+      arrives back on the pack's shared pc the lane is **re-admitted**
+      into lockstep, otherwise it finishes scalar via
+      :meth:`~ExperimentExecutor._finish` (counted in
+      :attr:`~ExperimentExecutor.scalar_tail_experiments`);
     * the convergence ladder is probed per live lane at the same
       stride-aligned, exponentially backed-off checkpoints the scalar
-      executor uses.  An evicted lane restarts the backoff from its
-      eviction cycle — sound because a digest match at *any* checkpoint
-      classifies identically (see :meth:`_converged_record`: the end
-      cycle is shift-invariant and the emitted prefix is completed from
-      golden output), so the checkpoint schedule never affects records.
+      executor uses.  Admitted lanes join whatever schedule the pack is
+      on — sound because a digest match at *any* checkpoint classifies
+      identically (see :meth:`_converged_record`: the end cycle is
+      shift-invariant and the emitted prefix is completed from golden
+      output), so the checkpoint schedule never affects records.
 
-    Single experiments (:meth:`run`) and stretches below
-    :data:`MIN_LANES` fall back to the inherited scalar path, which
-    under the ``batch`` engine runs on the compiled Tier-1 machine.
+    Single experiments (:meth:`run`) and thin stretches with no
+    adjacent stretches to pack with fall back to the inherited scalar
+    path, which under the ``batch`` engine runs on the compiled Tier-1
+    machine.
     """
 
-    #: Below this many injectable lanes a stretch runs scalar: one
-    #: numpy dispatch costs ~100× a compiled-engine instruction, so
-    #: tiny batches would be slower than Tier 1.
+    #: Below this many injectable lanes (summed over an adjacent
+    #: ascending-slot window) a stretch runs scalar: one numpy dispatch
+    #: costs ~100× a compiled-engine instruction, so tiny packs would
+    #: be slower than Tier 1.
     MIN_LANES = 8
+    #: Packs admit adjacent-slot lanes until they hold this many; wider
+    #: packs amortize the per-block dispatch further but shrink the
+    #: population left to refill later packs.
+    PACK_TARGET = 32
     #: Lanes per batch chunk; bounds peak memory at
     #: ``MAX_LANES × ram_size`` bytes and keeps eviction compaction
     #: copies cheap.
     MAX_LANES = 1024
 
+    _fused_cache: object = False  # False = not compiled yet
+
+    @property
+    def _fused(self):
+        """The program's fused kernels, compiled once per executor."""
+        if self._fused_cache is False:
+            from ..engine.fused import compile_fused
+
+            self._fused_cache = compile_fused(self.golden.program)
+        return self._fused_cache
+
+    def _golden_pc(self, cycle: int) -> int:
+        """The pristine machine's pc after exactly ``cycle`` cycles."""
+        pcs = self._golden_pcs
+        if pcs is None:
+            pcs = self._golden_pcs = self.golden.executed_pcs()
+        if cycle < len(pcs):
+            return pcs[cycle]
+        return len(self.golden.program.rom)  # at the implicit exit stub
+
+    _golden_pcs: list | None = None
+
     def run_many(self, coordinates) -> list["ExperimentRecord"]:
+        from collections import deque
+
         coordinates = list(coordinates)
-        records: list[ExperimentRecord] = []
+        records: list[ExperimentRecord | None] = [None] * len(coordinates)
+        groups: deque[tuple[int, list[int]]] = deque()
         start = 0
         while start < len(coordinates):
             end = start + 1
@@ -506,79 +574,175 @@ class BatchExperimentExecutor(ExperimentExecutor):
             while (end < len(coordinates)
                    and coordinates[end].slot == slot):
                 end += 1
-            records.extend(self._run_slot(coordinates[start:end]))
+            if slot > self.golden.cycles:
+                raise ValueError(
+                    f"slot {slot} beyond golden runtime "
+                    f"{self.golden.cycles}")
+            batchable = []
+            for idx in range(start, end):
+                coordinate = coordinates[idx]
+                if (self.use_convergence
+                        and not self._cell_critical(coordinate)):
+                    self.slice_hits += 1
+                    records[idx] = self._golden_record(coordinate)
+                else:
+                    batchable.append(idx)
+            if batchable:
+                groups.append((slot, batchable))
             start = end
-        return records
-
-    def _run_slot(self, coords) -> list["ExperimentRecord"]:
-        """Run one same-slot stretch, batched where profitable."""
-        slot = coords[0].slot
-        if slot > self.golden.cycles:
-            raise ValueError(
-                f"slot {slot} beyond golden runtime {self.golden.cycles}")
-        records: list[ExperimentRecord | None] = [None] * len(coords)
-        batchable = []
-        for idx, coordinate in enumerate(coords):
-            if self.use_convergence and not self._cell_critical(coordinate):
-                self.slice_hits += 1
-                records[idx] = self._golden_record(coordinate)
-            else:
-                batchable.append(idx)
-        if len(batchable) < self.MIN_LANES or not self.domain.batchable:
+        if not self.domain.batchable:
             # Non-batchable domains (PC faults redirect control flow
             # immediately, so lanes would never march in lockstep) run
             # scalar regardless of stretch width.
-            for idx in batchable:
-                records[idx] = self.run(coords[idx])
+            for _, idxs in groups:
+                for idx in idxs:
+                    records[idx] = self.run(coordinates[idx])
             return records
-        state = self._state_at(slot - 1)
-        for chunk_start in range(0, len(batchable), self.MAX_LANES):
-            chunk = batchable[chunk_start:chunk_start + self.MAX_LANES]
-            self._lockstep([coords[i] for i in chunk], chunk, records,
-                           state)
+        while groups:
+            slot, idxs = groups.popleft()
+            if self._pack_width(len(idxs), slot, groups) < self.MIN_LANES:
+                for idx in idxs:
+                    records[idx] = self.run(coordinates[idx])
+                continue
+            while len(idxs) > self.MAX_LANES:
+                chunk, idxs = (idxs[:self.MAX_LANES],
+                               idxs[self.MAX_LANES:])
+                self._run_pack(slot, chunk, coordinates, records, deque())
+            self._run_pack(slot, idxs, coordinates, records, groups)
         return records
 
-    def _lockstep(self, coords, idxs, records, state) -> None:
-        """Run one lane chunk; writes results into ``records[idxs[i]]``."""
+    def _pack_width(self, width: int, slot: int, groups) -> int:
+        """Prospective pack width: this stretch plus admissible followers.
+
+        Counts lanes over the maximal non-descending-slot window
+        starting here, stopping early once :data:`MIN_LANES` is
+        reached (the only threshold the caller compares against).
+        """
+        prev = slot
+        for nslot, nidxs in groups:
+            if width >= self.MIN_LANES or nslot < prev:
+                break
+            width += len(nidxs)
+            prev = nslot
+        return width
+
+    def _run_pack(self, slot, idxs, coordinates, records, groups) -> None:
+        """Run one pack; admits groups from ``groups`` when reachable.
+
+        Writes results into ``records[idx]`` for every lane it ends up
+        owning (the opening ``idxs`` plus any admitted group's).
+        """
         from ..engine.batch import DIVERGE, EVICT, LockstepLanes
 
         oracle = self.golden.output if self.early_stop else None
-        lanes = LockstepLanes(self.golden.program, state, len(coords),
-                              oracle=oracle)
+        state = self._state_at(slot - 1)
+        lanes = LockstepLanes(self.golden.program, state, len(idxs),
+                              oracle=oracle, fused=self._fused)
+        self.packs_opened += 1
+        self.packed_lanes += len(idxs)
         inject = self.domain.inject
-        for pos, coordinate in enumerate(coords):
+        #: Per lane-id coordinate / records index, growing on admission.
+        lane_coords = [coordinates[i] for i in idxs]
+        lane_idx = list(idxs)
+        for pos, coordinate in enumerate(lane_coords):
             inject(lanes.lane_view(pos), coordinate)
         limit = self.timeout_cycles
 
         def settle() -> None:
             for exit_ in lanes.pop_exits():
-                coordinate = coords[exit_.lane]
-                idx = idxs[exit_.lane]
-                if exit_.kind == EVICT:
-                    self._machine.restore(exit_.state)
-                    records[idx] = self._finish(self._machine, coordinate)
-                else:
+                coordinate = lane_coords[exit_.lane]
+                idx = lane_idx[exit_.lane]
+                if exit_.kind != EVICT:
                     records[idx] = self._classify_end(
                         coordinate, trap=exit_.trap,
                         diverged=exit_.kind == DIVERGE, halted=True,
                         serial=exit_.serial, detections=exit_.detections,
                         cycle=exit_.cycle)
+                    continue
+                machine = self._machine
+                exit_.restore_into(machine)
+                if lanes.n:
+                    # Scalar catch-up to the pack's clock; a lane back
+                    # on the shared pc in phase re-enters lockstep.
+                    try:
+                        machine.run_to_cycle(lanes.cycle)
+                    except CPUException as exc:
+                        records[idx] = self._classify_end(
+                            coordinate, trap=exc.trap_name,
+                            diverged=machine.diverged,
+                            halted=machine.halted,
+                            serial=bytes(machine.serial),
+                            detections=tuple(machine.detections),
+                            cycle=machine.cycle)
+                        self.scalar_tail_experiments += 1
+                        continue
+                    if (not machine.halted and not machine.diverged
+                            and machine.cycle == lanes.cycle
+                            and machine.pc == lanes.pc):
+                        lanes.admit(machine.snapshot())
+                        lane_coords.append(coordinate)
+                        lane_idx.append(idx)
+                        self.readmitted_lanes += 1
+                        self.packed_lanes += 1
+                        continue
+                records[idx] = self._finish(machine, coordinate)
+                self.scalar_tail_experiments += 1
 
-        if self._stride:
-            stride = self._stride
-            table = self._golden_cycle_of
-            gap = stride
-            target = lanes.cycle + gap
+        def admit_groups() -> bool:
+            """Admit every group whose injection point is *now*.
+
+            Returns False when admission into this pack must stop for
+            good (pack off the golden pc at a group's slot, pack full,
+            or an out-of-order slot) — remaining groups then open
+            fresh packs in the caller's loop.
+            """
+            while groups:
+                nslot = groups[0][0]
+                if nslot - 1 < lanes.cycle:
+                    return False  # pack already past this slot
+                if nslot - 1 > lanes.cycle:
+                    return True   # not there yet; keep advancing
+                if lanes.n >= self.PACK_TARGET:
+                    return False
+                if lanes.pc != self._golden_pc(lanes.cycle):
+                    return False  # pack diverged from the golden pc
+                _, nidxs = groups.popleft()
+                st = self._state_at(nslot - 1)
+                for idx in nidxs:
+                    coordinate = coordinates[idx]
+                    lanes.admit(st)
+                    inject(lanes.lane_view(lanes.n - 1), coordinate)
+                    lane_coords.append(coordinate)
+                    lane_idx.append(idx)
+                    self.packed_lanes += 1
+            return True
+
+        admitting = admit_groups()
+        stride = self._stride
+        table = self._golden_cycle_of
+        gap = stride
+        target = lanes.cycle + gap
+        if stride:
             target += -target % stride
-            while target < limit and lanes.n:
-                lanes.run_to(target)
-                settle()
-                if not lanes.n:
-                    break
+        while lanes.n and lanes.cycle < limit:
+            bound = limit
+            if stride and target < bound:
+                bound = target
+            if admitting and groups:
+                next_admit = groups[0][0] - 1
+                if next_admit < bound:
+                    bound = next_admit
+            lanes.run_to(bound)
+            settle()
+            if not lanes.n:
+                break
+            if admitting:
+                admitting = admit_groups()
+            if stride and lanes.cycle == target and target < limit:
                 drop = []
                 for pos in range(lanes.n):
                     lane = lanes.ids[pos]
-                    coordinate = coords[lane]
+                    coordinate = lane_coords[lane]
                     self.convergence_checks += 1
                     matched = table.get(lanes.digest(pos))
                     if matched is None and self.domain.involutive:
@@ -591,7 +755,7 @@ class BatchExperimentExecutor(ExperimentExecutor):
                                                               masked):
                             matched = masked
                     if matched is not None:
-                        records[idxs[lane]] = self._converged_record(
+                        records[lane_idx[lane]] = self._converged_record(
                             coordinate, matched, cycle=lanes.cycle,
                             serial=bytes(lanes.serial[pos]),
                             detections=tuple(lanes.detections[pos]))
@@ -601,15 +765,12 @@ class BatchExperimentExecutor(ExperimentExecutor):
                 gap *= 2
                 target += gap
                 target += -target % stride
-        if lanes.n:
-            lanes.run_to(limit)
-            settle()
         for pos in range(lanes.n):
             # Budget exhausted without halting: timeout, like the
             # scalar path's un-halted machine at ``timeout_cycles``.
             lane = lanes.ids[pos]
-            records[idxs[lane]] = self._classify_end(
-                coords[lane], trap="", diverged=False, halted=False,
+            records[lane_idx[lane]] = self._classify_end(
+                lane_coords[lane], trap="", diverged=False, halted=False,
                 serial=bytes(lanes.serial[pos]),
                 detections=tuple(lanes.detections[pos]),
                 cycle=lanes.cycle)

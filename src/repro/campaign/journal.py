@@ -198,6 +198,12 @@ class ExecutionReport:
     #: non-critical (the criticality pre-skip).  Like
     #: :attr:`convergence_hits`, a performance diagnostic only.
     slice_hits: int = 0
+    #: Experiments a batch executor finished on the scalar tier after
+    #: their lane was evicted from a lockstep pack (divergence, traps,
+    #: or persistent-fault stores) and could not be re-admitted.  A
+    #: pack-efficiency diagnostic: high counts mean the workload is too
+    #: branchy for the batch tier.  Always 0 for scalar executors.
+    scalar_tail_experiments: int = 0
     #: Experiments whose outcomes were composed from the cross-campaign
     #: section store (another campaign already executed an identical
     #: program section) instead of re-executed.  Composed experiments

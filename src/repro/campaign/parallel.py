@@ -206,6 +206,37 @@ def shard_by_cost(items: Sequence, costs: Sequence[int],
     return shards
 
 
+#: Estimated total post-injection cycles below which a campaign counts
+#: as *small*: per-lease protocol round-trips and idle re-poll waits
+#: dominate the simulated work (ROADMAP's 0.18× single-worker dist
+#: overhead), so shard planning collapses the lease granularity
+#: instead of optimizing for rebalance-after-node-loss.
+SMALL_CAMPAIGN_CYCLES = 1_000_000
+
+
+def tune_shard_count(total_cost_cycles: int, requested: int,
+                     workers: int | None = None) -> int:
+    """Lease-granularity heuristic for small campaigns.
+
+    Fine shards only pay off when there is enough work to rebalance
+    after a worker is lost; on a campaign whose estimated cost is below
+    :data:`SMALL_CAMPAIGN_CYCLES` they just multiply lease round-trips.
+    Collapsing to one shard per expected worker removes those
+    round-trips, and — because no extra pending shards exist to hand
+    out — the lease board never needs to down-tune its re-poll wait
+    below the default heartbeat interval for waiting workers.
+
+    ``workers`` is the expected worker count (``None`` means unknown,
+    e.g. a hand-started ``repro coordinator``: the requested shard
+    count is kept untouched).  Deterministic, so a coordinator restart
+    with the same arguments re-derives the same plan and journaled
+    per-shard lease state stays valid.
+    """
+    if workers is None or total_cost_cycles >= SMALL_CAMPAIGN_CYCLES:
+        return requested
+    return max(1, min(requested, workers))
+
+
 def plan_class_shards(intervals: Sequence, total_cycles: int, *,
                       bits: int, parts: int) -> tuple[list, list[int]]:
     """Plan contiguous, cost-balanced shards of live classes.
@@ -271,10 +302,10 @@ def _chaos(index: int, attempt: int) -> None:
 def _scan_shard(task):
     """Run one contiguous shard of live classes (full-scan worker).
 
-    The trailing elements of the result are the shard's convergence-hit
-    and slice-hit counts, reported as deltas because the worker's
-    executor (and its counters) persists across the shards the pool
-    hands this process.
+    The trailing elements of the result are the shard's convergence-hit,
+    slice-hit and scalar-tail counts, reported as deltas because the
+    worker's executor (and its counters) persists across the shards the
+    pool hands this process.
     """
     index, attempt, payload = task
     _chaos(index, attempt)
@@ -282,6 +313,7 @@ def _scan_shard(task):
     executor = _WORKER_EXECUTOR
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
+    tail_base = executor.scalar_tail_experiments
     class_key = executor.domain.class_key
     pairs = []
     records: list[ExperimentRecord] = []
@@ -310,7 +342,8 @@ def _scan_shard(task):
                 records.extend(member_records)
         start = end
     return (pairs, records, executor.convergence_hits - hits_base,
-            executor.slice_hits - slice_base)
+            executor.slice_hits - slice_base,
+            executor.scalar_tail_experiments - tail_base)
 
 
 def _brute_shard(task):
@@ -325,6 +358,7 @@ def _brute_shard(task):
     executor = _WORKER_EXECUTOR
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
+    tail_base = executor.scalar_tail_experiments
     domain = executor.domain
     space = domain.fault_space(executor.golden)
     out = []
@@ -335,7 +369,8 @@ def _brute_shard(task):
                            for coord, record
                            in zip(coords, executor.run_many(coords))]))
     return (out, executor.convergence_hits - hits_base,
-            executor.slice_hits - slice_base)
+            executor.slice_hits - slice_base,
+            executor.scalar_tail_experiments - tail_base)
 
 
 def _sampling_shard(task):
@@ -351,12 +386,14 @@ def _sampling_shard(task):
     executor = _WORKER_EXECUTOR
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
+    tail_base = executor.scalar_tail_experiments
     rows = []
     for key, coord in keyed:
         record = executor.run(coord)
         rows.append((key, record.outcome, record.end_cycle, record.trap))
     return (rows, executor.convergence_hits - hits_base,
-            executor.slice_hits - slice_base)
+            executor.slice_hits - slice_base,
+            executor.scalar_tail_experiments - tail_base)
 
 
 # -- driver -------------------------------------------------------------------
@@ -554,9 +591,10 @@ class ParallelCampaign:
 
         def on_result(index, result):
             nonlocal done
-            pairs, shard_records, hits, skips = result
+            pairs, shard_records, hits, skips, tails = result
             report.convergence_hits += hits
             report.slice_hits += skips
+            report.scalar_tail_experiments += tails
             record_iter = iter(shard_records)
             for key, outcomes in pairs:
                 class_records = ([next(record_iter) for _ in outcomes]
@@ -596,7 +634,7 @@ class ParallelCampaign:
                                          end_cycle=timeout_cycles)
                         for coord in coords)
                 report.synthesized_timeouts += len(coords)
-            return pairs, records, 0, 0
+            return pairs, records, 0, 0, 0
 
         self._run_shards(
             _scan_shard, tasks, costs=costs, report=report,
@@ -663,9 +701,10 @@ class ParallelCampaign:
 
         def on_result(index, result):
             nonlocal done
-            slot_rows, hits, skips = result
+            slot_rows, hits, skips, tails = result
             report.convergence_hits += hits
             report.slice_hits += skips
+            report.scalar_tail_experiments += tails
             for slot, rows in slot_rows:
                 fresh[slot] = rows
                 if handle is not None:
@@ -684,7 +723,7 @@ class ParallelCampaign:
                         for coord in domain.slot_coordinates(space, slot)]
                 report.synthesized_timeouts += len(rows)
                 out.append((slot, rows))
-            return out, 0, 0
+            return out, 0, 0, 0
 
         self._run_shards(
             _brute_shard, tasks, costs=costs, report=report,
@@ -788,9 +827,10 @@ class ParallelCampaign:
 
         def on_result(index, result):
             nonlocal done
-            rows, hits, skips = result
+            rows, hits, skips, tails = result
             report.convergence_hits += hits
             report.slice_hits += skips
+            report.scalar_tail_experiments += tails
             if handle is not None:
                 handle.record_experiments(
                     [(key[0], key[1], key[2], outcome.value)
@@ -811,7 +851,7 @@ class ParallelCampaign:
             report.synthesized_timeouts += len(shard)
             synthesized_keys.update(key for key, _ in shard)
             return ([(key, Outcome.TIMEOUT, 0, "") for key, _ in shard],
-                    0, 0)
+                    0, 0, 0)
 
         self._run_shards(
             _sampling_shard, tasks, costs=costs, report=report,

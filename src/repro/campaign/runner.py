@@ -66,8 +66,13 @@ def _executor_params(executor: ExperimentExecutor) -> dict:
 def _build_executor(golden: GoldenRun,
                     executor: ExperimentExecutor | None,
                     config: ExecutorConfig | None,
-                    domain: FaultDomain) -> ExperimentExecutor:
-    """Resolve the serial path's executor from the caller's arguments."""
+                    domain: FaultDomain,
+                    partition=None) -> ExperimentExecutor:
+    """Resolve the serial path's executor from the caller's arguments.
+
+    ``partition`` forwards an already-built def/use partition to the
+    ``auto`` engine's tier planner so resolving it is free on paths
+    that have one (the planner otherwise builds and caches its own)."""
     if executor is not None:
         if config is not None:
             raise ValueError(
@@ -75,7 +80,7 @@ def _build_executor(golden: GoldenRun,
                 "exists to build an executor when none is given")
         return executor
     return replace(config or ExecutorConfig(),
-                   domain=domain.name).build(golden)
+                   domain=domain.name).build(golden, partition=partition)
 
 
 @dataclass
@@ -255,9 +260,11 @@ def run_full_scan(golden: GoldenRun, *,
             progress=progress, journal=journal, resume=resume)
     if partition is None:
         partition = domain.build_partition(golden)
-    executor = _build_executor(golden, executor, config, domain)
+    executor = _build_executor(golden, executor, config, domain,
+                               partition=partition)
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
+    tail_base = executor.scalar_tail_experiments
     handle = open_campaign(journal, golden, domain, "full-scan",
                            _executor_params(executor))
     completed = {}
@@ -336,6 +343,8 @@ def run_full_scan(golden: GoldenRun, *,
         index += len(group)
     report.convergence_hits = executor.convergence_hits - hits_base
     report.slice_hits = executor.slice_hits - slice_base
+    report.scalar_tail_experiments = (executor.scalar_tail_experiments
+                                      - tail_base)
     if handle is not None:
         handle.mark_complete()
     return CampaignResult(golden=golden, partition=partition,
@@ -386,6 +395,7 @@ def run_brute_force(golden: GoldenRun, *,
     executor = _build_executor(golden, executor, config, domain)
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
+    tail_base = executor.scalar_tail_experiments
     handle = open_campaign(journal, golden, domain, "brute-force",
                            _executor_params(executor))
     completed = {}
@@ -416,6 +426,8 @@ def run_brute_force(golden: GoldenRun, *,
             progress(slot, golden.cycles)
     report.convergence_hits = executor.convergence_hits - hits_base
     report.slice_hits = executor.slice_hits - slice_base
+    report.scalar_tail_experiments = (executor.scalar_tail_experiments
+                                      - tail_base)
     if handle is not None:
         handle.mark_complete()
     return BruteForceResult(golden=golden, outcomes=outcomes,
@@ -524,9 +536,11 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
             progress=progress, journal=journal, resume=resume)
     if partition is None:
         partition = domain.build_partition(golden)
-    executor = _build_executor(golden, executor, config, domain)
+    executor = _build_executor(golden, executor, config, domain,
+                               partition=partition)
     hits_base = executor.convergence_hits
     slice_base = executor.slice_hits
+    tail_base = executor.scalar_tail_experiments
 
     handle = open_campaign(
         journal, golden, domain, "sampling",
@@ -604,6 +618,8 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
     report.total_units = len(cache)
     report.convergence_hits = executor.convergence_hits - hits_base
     report.slice_hits = executor.slice_hits - slice_base
+    report.scalar_tail_experiments = (executor.scalar_tail_experiments
+                                      - tail_base)
     if handle is not None:
         handle.mark_complete()
     results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]

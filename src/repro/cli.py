@@ -174,7 +174,8 @@ def _print_execution(execution) -> None:
         return
     if (execution.resumed or execution.timed_out_shards
             or execution.shard_retries or execution.convergence_hits
-            or execution.slice_hits or execution.composed_hits
+            or execution.slice_hits or execution.scalar_tail_experiments
+            or execution.composed_hits
             or execution.workers or not execution.complete):
         print(completeness_report(execution))
 
@@ -206,7 +207,7 @@ def cmd_scan(args) -> int:
     policy = _scan_policy(args)
     config = ExecutorConfig(
         use_convergence=not getattr(args, "no_convergence", False),
-        engine=getattr(args, "engine", "compiled"))
+        engine=getattr(args, "engine", "auto"))
     print(f"{program.name} [{domain.name} domain]: "
           f"Δt={golden.cycles} cycles, w={space.size}")
     if args.samples:
@@ -285,7 +286,7 @@ def cmd_compare(args) -> int:
     policy = _scan_policy(args)
     config = ExecutorConfig(
         use_convergence=not getattr(args, "no_convergence", False),
-        engine=getattr(args, "engine", "compiled"))
+        engine=getattr(args, "engine", "auto"))
     status = 0
     results = {}
     for name in names:
@@ -367,7 +368,7 @@ def cmd_coordinator(args) -> int:
     policy = _scan_policy(args)
     config = ExecutorConfig(
         use_convergence=not getattr(args, "no_convergence", False),
-        engine=getattr(args, "engine", "compiled"))
+        engine=getattr(args, "engine", "auto"))
     # Bind before announcing, so `--port 0` (OS-assigned) prints the
     # port workers can actually connect to.
     sock = socket.create_server((args.host, args.port))
@@ -491,12 +492,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "running it to completion; outcomes are "
                               "identical either way)")
         cmd.add_argument("--engine", choices=sorted(ENGINES),
-                         default="compiled",
-                         help="execution engine: the template-JIT "
-                              "'compiled' core (default), lockstep "
-                              "'batch' replay of same-slot experiments, "
-                              "or the reference 'interp' interpreter; "
-                              "results are bit-identical for all three")
+                         default="auto",
+                         help="execution engine: 'auto' (default) plans "
+                              "per campaign between the template-JIT "
+                              "'compiled' core, lockstep 'batch' replay "
+                              "of same-slot experiments, and the "
+                              "reference 'interp' interpreter; results "
+                              "are bit-identical for every choice")
         cmd.add_argument("--checkpoint-stride", type=int, default=None,
                          metavar="K",
                          help="golden checkpoint-digest stride in cycles "

@@ -33,6 +33,13 @@ CLI (``--engine``):
     prefixes also use the compiled engine, so ``batch`` is a strict
     superset of ``compiled``.
 
+``auto`` (the default)
+    Not a fourth core but a chooser: the tier planner
+    (:mod:`repro.engine.plan`) reads the campaign's def/use slot-width
+    geometry and resolves to one of the three engines above — batch
+    only where packs stay wide enough to beat the scalar JIT, interp
+    only when the campaign is too small to amortize codegen.
+
 Engines are stateless singletons (like fault domains); they resolve by
 name so an :class:`ExecutorConfig` naming one pickles across process
 boundaries and the dist-fabric wire protocol unchanged.
@@ -66,6 +73,19 @@ class ExecutionEngine:
         their exact interpreter semantics regardless of engine.
         """
         raise NotImplementedError
+
+    def resolve(self, golden, domain, *, partition=None) -> "ExecutionEngine":
+        """The concrete engine to run a campaign over ``golden`` with.
+
+        Concrete engines return themselves; the ``auto`` engine
+        overrides this to consult the tier planner
+        (:mod:`repro.engine.plan`) once the golden run and fault domain
+        are known — ``partition`` reuses a caller-built def/use
+        partition so planning is free where one already exists.  Called
+        by :meth:`~repro.campaign.experiment.ExecutorConfig.build`, so
+        serial, parallel and dist workers all resolve identically.
+        """
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ExecutionEngine {self.name!r}>"
@@ -105,16 +125,43 @@ class BatchEngine(CompiledEngine):
     batch = True
 
 
+class AutoEngine(CompiledEngine):
+    """Tier chooser: plans interp/compiled/batch from campaign geometry.
+
+    Machines built directly under ``auto`` are compiled machines (the
+    safe scalar default); campaign executors instead call
+    :meth:`resolve` with the golden run and domain, which hands the
+    decision to :func:`repro.engine.plan.plan_tiers` — batch only when
+    the def/use slot-width distribution keeps packs above the measured
+    dispatch break-even, the interpreter only when the campaign is too
+    small to amortize JIT codegen, compiled otherwise.
+    """
+
+    name = "auto"
+
+    def resolve(self, golden, domain, *, partition=None) -> ExecutionEngine:
+        return ENGINES[self.plan(golden, domain,
+                                 partition=partition).engine]
+
+    def plan(self, golden, domain, *, partition=None):
+        """The :class:`~repro.engine.plan.TierPlan` for a campaign."""
+        from .plan import plan_tiers
+
+        return plan_tiers(golden, domain, partition=partition)
+
+
 #: The built-in engines, as shared stateless singletons.
 INTERP = InterpreterEngine()
 COMPILED = CompiledEngine()
 BATCH = BatchEngine()
+AUTO = AutoEngine()
 
 #: Registry of available engines, keyed by name.
 ENGINES: dict[str, ExecutionEngine] = {
     INTERP.name: INTERP,
     COMPILED.name: COMPILED,
     BATCH.name: BATCH,
+    AUTO.name: AUTO,
 }
 
 

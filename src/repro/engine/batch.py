@@ -42,6 +42,7 @@ import numpy as np
 from ..isa.assembler import Program
 from ..isa.cpu import MachineState, state_digest
 from ..isa.isa import NUM_REGS, Op, WORD_MASK
+from .fused import FusedProgram, pad_rows
 
 _M = WORD_MASK
 
@@ -75,6 +76,22 @@ class LaneExit:
     serial: bytes = b""
     detections: tuple = ()
     state: MachineState | None = field(default=None, compare=False)
+
+    @property
+    def restorable(self) -> bool:
+        """True when this exit carries a resumable machine state."""
+        return self.state is not None
+
+    def restore_into(self, machine) -> None:
+        """Resume a scalar machine from this exit's carried state.
+
+        The scalar continuation may later re-enter a pack through
+        :meth:`LockstepLanes.admit` once it reaches the pack's shared
+        pc at the same cycle — this is the re-admission handle.
+        """
+        if self.state is None:
+            raise ValueError(f"{self.kind} exit is not restorable")
+        machine.restore(self.state)
 
 
 class _LaneView:
@@ -120,6 +137,7 @@ class _LaneView:
         if lanes.stuck[self._pos] is not None:
             raise ValueError("a stuck-at fault is already armed")
         lanes.stuck[self._pos] = (addr, bit, value)
+        lanes._stuck_live += 1
         if value:
             lanes.ram[self._pos, addr] |= np.uint8(1 << bit)
         else:
@@ -137,7 +155,8 @@ class LockstepLanes:
     """
 
     def __init__(self, program: Program, state: MachineState, n: int, *,
-                 oracle: bytes | None = None):
+                 oracle: bytes | None = None,
+                 fused: FusedProgram | None = None):
         if state.halted:
             raise ValueError("cannot build lanes from a halted state")
         self.program = program
@@ -145,8 +164,14 @@ class LockstepLanes:
         self.ram_size = program.ram_size
         self.oracle = oracle
         self._olen = len(oracle) if oracle is not None else 0
+        # Lane RAM rows are padded to a word multiple so the fused
+        # kernels can gather/scatter aligned words and halfwords
+        # through uint32/uint16 views of the flat backing array.
+        self._pad = pad_rows(self.ram_size)
         row = np.frombuffer(state.ram, dtype=np.uint8)
-        self.ram = np.repeat(row[np.newaxis, :], n, axis=0)
+        self._store = np.zeros((n, self._pad), dtype=np.uint8)
+        self._store[:, :self.ram_size] = row
+        self.ram = self._store[:, :self.ram_size]
         regs = np.array(state.regs, dtype=np.uint32)
         self.regs = np.repeat(regs[np.newaxis, :], n, axis=0)
         self.pc = state.pc
@@ -157,7 +182,64 @@ class LockstepLanes:
         #: Per-lane armed stuck-at latch ``(addr, bit, value)`` or None.
         self.stuck: list[tuple | None] = [state.stuck for _ in range(n)]
         self.exits: list[LaneExit] = []
-        self._offsets = np.arange(n, dtype=np.int64) * self.ram_size
+        self._stuck_live = n if state.stuck is not None else 0
+        self._next_id = n
+        self._fused = fused
+        self._scratch_n = -1
+        self._scratch_cap = 0
+        self._pools: dict | None = None
+        self._rebuild_flat()
+
+    def _rebuild_flat(self) -> None:
+        """Refresh the flat views after any change to the lane count."""
+        flat = self._store.reshape(-1)
+        self._flat = flat
+        if self._pad:
+            self._flat32 = flat.view(np.uint32)
+            self._flat16 = flat.view(np.uint16)
+            self._flat16i = flat.view(np.int16)
+            self._flat8i = flat.view(np.int8)
+        self._offsets = np.arange(len(self._store),
+                                  dtype=np.int64) * self._pad
+
+    def _fused_scratch(self, n: int) -> dict:
+        """Preallocated per-lane scratch for the fused kernels.
+
+        Returns a name → array dict of length-``n`` slices; rebuilt
+        (and, when lanes were admitted past capacity, reallocated) only
+        when ``n`` changes, so kernels pay a single cached dict per
+        call instead of per-op temporaries.
+        """
+        if n == self._scratch_n:
+            return self._scratch
+        if self._pools is None or n > self._scratch_cap:
+            cap = max(n, self._scratch_cap * 2)
+            stores = self._fused.max_stores if self._fused else 0
+            pools = {
+                "a": np.empty(cap, dtype=np.int64),
+                "q": np.empty(cap, dtype=np.int64),
+                "t": np.empty(cap, dtype=np.uint32),
+                "bt": np.empty(cap, dtype=bool),
+                "g16": np.empty(cap, dtype=np.int16),
+                "h16": np.empty(cap, dtype=np.uint16),
+                "g8": np.empty(cap, dtype=np.int8),
+                "h8": np.empty(cap, dtype=np.uint8),
+                "saved": np.empty((cap, NUM_REGS), dtype=np.uint32),
+                "o8": np.arange(cap, dtype=np.int64) * self._pad,
+                "o16": np.arange(cap, dtype=np.int64) * (self._pad // 2),
+                "o32": np.arange(cap, dtype=np.int64) * (self._pad // 4),
+            }
+            for k in range(stores):
+                pools[f"si{k}"] = np.empty(cap, dtype=np.int64)
+                pools[f"sv{k}"] = np.empty(cap, dtype=np.uint32)
+            self._pools = pools
+            self._scratch_cap = cap
+        sc = {name: pool[:n] for name, pool in self._pools.items()}
+        sc["au"] = sc["a"].view(np.uint64)
+        sc["ti"] = sc["t"].view(np.int32)
+        self._scratch = sc
+        self._scratch_n = n
+        return sc
 
     # -- introspection -------------------------------------------------------
 
@@ -217,15 +299,56 @@ class LockstepLanes:
     def _compress(self, keep: np.ndarray) -> None:
         if keep.all():
             return
-        self.ram = self.ram[keep]
+        self._store = self._store[keep]
+        self.ram = self._store[:, :self.ram_size]
         self.regs = self.regs[keep]
         kept = np.nonzero(keep)[0]
         self.ids = [self.ids[i] for i in kept]
         self.serial = [self.serial[i] for i in kept]
         self.detections = [self.detections[i] for i in kept]
         self.stuck = [self.stuck[i] for i in kept]
-        self._offsets = np.arange(len(self.ids),
-                                  dtype=np.int64) * self.ram_size
+        if self._stuck_live:
+            self._stuck_live = sum(
+                1 for latch in self.stuck if latch is not None)
+        self._rebuild_flat()
+
+    # -- lane admission ------------------------------------------------------
+
+    def admit(self, state: MachineState) -> int:
+        """Append a lane resuming from ``state``; returns its lane id.
+
+        The state must sit exactly on the pack's shared trajectory
+        point — same pc *and* same cycle — because all lanes advance
+        under one clock.  Used for cross-slot pack extension (a fresh
+        injection whose slot the pack just reached) and for
+        re-admission of an evicted lane whose scalar continuation
+        rejoined the pack's pc in phase.
+        """
+        if state.halted:
+            raise ValueError("cannot admit a halted state")
+        if state.pc != self.pc or state.cycle != self.cycle:
+            raise ValueError(
+                f"admitted state at pc={state.pc} cycle={state.cycle} "
+                f"does not match the pack at pc={self.pc} "
+                f"cycle={self.cycle}")
+        row = np.zeros((1, self._pad), dtype=np.uint8)
+        row[0, :self.ram_size] = np.frombuffer(state.ram, dtype=np.uint8)
+        self._store = np.concatenate((self._store, row), axis=0)
+        self.ram = self._store[:, :self.ram_size]
+        self.regs = np.concatenate(
+            (self.regs,
+             np.array(state.regs, dtype=np.uint32)[np.newaxis, :]), axis=0)
+        self.serial.append(bytearray(state.serial))
+        self.detections.append(list(state.detections))
+        self.stuck.append(state.stuck)
+        if state.stuck is not None:
+            self._stuck_live += 1
+        lane = self._next_id
+        self._next_id += 1
+        self.ids.append(lane)
+        self._rebuild_flat()
+        self._scratch_n = -1
+        return lane
 
     # -- execution -----------------------------------------------------------
 
@@ -235,9 +358,18 @@ class LockstepLanes:
         Lanes that halt, trap, diverge or evict along the way are
         appended to :attr:`exits`; the call returns when the target is
         reached or no lanes remain.
+
+        When a :class:`~repro.engine.fused.FusedProgram` was supplied
+        at construction, whole basic blocks whose body fits the budget
+        dispatch through one fused kernel each; the kernel aborts (and
+        this loop falls back to :meth:`_step`) whenever any lane would
+        trap, so per-lane exit semantics are bit-identical either way.
         """
         rom, rom_len = self.rom, len(self.rom)
-        while self.ids and self.cycle < target:
+        fused = self._fused
+        blocks_get = fused.blocks.get if fused is not None else None
+        ids = self.ids
+        while ids and self.cycle < target:
             pc = self.pc
             if not 0 <= pc < rom_len:
                 if pc == rom_len:
@@ -246,7 +378,15 @@ class LockstepLanes:
                 else:
                     self._exit_all(TRAP, self.cycle, trap="illegal-pc")
                 return
+            if blocks_get is not None:
+                blk = blocks_get(pc)
+                if (blk is not None
+                        and self.cycle + blk.body_len <= target
+                        and not (blk.has_store and self._stuck_live)
+                        and blk.fn(self, len(ids), target)):
+                    continue
             self._step(rom[pc])
+            ids = self.ids
 
     def _step(self, ins) -> None:
         op = ins.op
@@ -398,7 +538,7 @@ class LockstepLanes:
                 if not self.ids:
                     return False
                 addr = addr[keep]
-        flat = self.ram.reshape(-1)
+        flat = self._flat
         base = self._offsets + addr
         if load:
             if width == 4:

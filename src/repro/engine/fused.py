@@ -1,0 +1,493 @@
+"""Fused basic-block kernels for the lockstep batch tier.
+
+:class:`~repro.engine.batch.LockstepLanes` pays roughly seven numpy
+dispatches per executed opcode (`_step` → `_alu`/`_memory` → masked
+temporaries), so a pack needs ~5 live lanes just to break even with the
+compiled scalar tier.  This module removes the per-instruction Python
+re-decode the same way :mod:`repro.engine.compiled` does for scalar
+machines: at compile time the ROM is decomposed into basic blocks
+(reusing the compiled tier's `_find_blocks`) and each block's body is
+emitted as **one** generated-Python function of straight-line numpy
+calls — operands constant-folded into the source, results written with
+in-place ``out=`` into preallocated scratch arrays and register-column
+views, RAM words gathered/scattered through uint32/uint16 views of the
+padded lane-RAM rows.
+
+Exactness contract (the Hypothesis differential suite pins this):
+running a block through its fused kernel leaves every lane bit-identical
+to stepping the same block per-instruction.  Three mechanisms make that
+cheap to guarantee:
+
+* **Speculate, then commit.**  Register writes go straight into the
+  lane register file, but a copy is saved on kernel entry whenever the
+  block contains an op that can trap (memory access, ``divu``/``remu``).
+  RAM stores and ``detect`` records are *buffered* and only applied in
+  the commit epilogue, after every trap check has passed.
+* **Abort to the per-instruction path.**  If any lane would trap — a
+  lane-dependent property the compiler cannot know — the kernel rolls
+  the registers back and returns ``False``; the caller re-executes the
+  block through the existing `_step` path, which delivers the exact
+  per-lane trap/continue semantics.  The same fallback covers blocks
+  the compiler refuses outright: ``out`` (oracle divergence), a load
+  that follows a store in the same block (it would read stale RAM
+  under buffering), and stores while any lane's stuck-at latch is
+  armed (the "write wins" release needs scalar semantics).
+* **Terminals stay shared.**  A block-ending branch/``jalr`` is folded
+  into the kernel only for the unanimous case; on disagreement the
+  kernel leaves the pc at the terminal instruction and the caller's
+  `_step` performs the usual deterministic majority-keep eviction.
+
+Kernels assume little-endian flat views; :func:`compile_fused` returns
+``None`` on big-endian hosts and the batch tier silently keeps its
+per-instruction path (same gate as the compiled engine).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from ..isa.assembler import Program
+from ..isa.isa import Op, WORD_MASK
+from .compiled import _find_blocks
+
+_M = WORD_MASK
+
+_LOADS = {Op.LW: 4, Op.LH: 2, Op.LHU: 2, Op.LB: 1, Op.LBU: 1}
+_STORES = {Op.SW: 4, Op.SH: 2, Op.SB: 1}
+_BRANCHES = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+#: Branch condition → (ufunc, signed operands).
+_BRANCH_COND = {
+    Op.BEQ: ("np.equal", False),
+    Op.BNE: ("np.not_equal", False),
+    Op.BLT: ("np.less", True),
+    Op.BGE: ("np.greater_equal", True),
+    Op.BLTU: ("np.less", False),
+    Op.BGEU: ("np.greater_equal", False),
+}
+#: Simple three-address ALU ops → ufunc name.
+_ALU3 = {
+    Op.ADD: "np.add", Op.SUB: "np.subtract", Op.AND: "np.bitwise_and",
+    Op.OR: "np.bitwise_or", Op.XOR: "np.bitwise_xor", Op.MUL: "np.multiply",
+}
+#: Register-immediate ALU ops → ufunc name (imm masked to uint32).
+_ALUI = {
+    Op.ADDI: "np.add", Op.ANDI: "np.bitwise_and",
+    Op.ORI: "np.bitwise_or", Op.XORI: "np.bitwise_xor",
+}
+
+
+def pad_rows(ram_size: int) -> int:
+    """Lane-RAM row stride: ``ram_size`` rounded up to a word multiple.
+
+    Row padding keeps every lane's RAM word-aligned inside the flat
+    backing array, so aligned word/halfword accesses become single
+    gathers/scatters through ``uint32``/``uint16`` views instead of
+    per-byte shift-and-or assembly.
+    """
+    return (ram_size + 3) & ~3
+
+
+class FusedBlock:
+    """One compiled basic block: ``fn(lanes, n, target) -> bool``.
+
+    ``fn`` returns ``True`` when the whole body (and possibly a
+    unanimous terminal) was applied and pc/cycle advanced, ``False``
+    when it aborted with all lane state rolled back — the caller then
+    re-runs the block per-instruction.  ``body_len`` is the cycle cost
+    of the fused body; ``has_store`` gates fusion off while a stuck-at
+    latch is armed on any lane.
+    """
+
+    __slots__ = ("start", "body_len", "has_store", "fn")
+
+    def __init__(self, start: int, body_len: int, has_store: bool, fn):
+        self.start = start
+        self.body_len = body_len
+        self.has_store = has_store
+        self.fn = fn
+
+
+class FusedProgram:
+    """The fused-kernel artifact for one program."""
+
+    __slots__ = ("blocks", "max_stores", "source")
+
+    def __init__(self, blocks: dict, max_stores: int, source: str):
+        #: Kernels keyed by block-leader pc.
+        self.blocks = blocks
+        #: Widest per-block deferred-store buffer any kernel needs.
+        self.max_stores = max_stores
+        #: Generated source, kept for debugging and tests.
+        self.source = source
+
+
+class _BlockEmitter:
+    """Emits one kernel function; records the scratch/columns it needs."""
+
+    def __init__(self, consts: dict, const_names: dict, ram_size: int):
+        self.body: list[str] = []
+        self.consts = consts
+        self._const_names = const_names
+        self.ram_size = ram_size
+        self.cols_u: set[int] = set()
+        self.cols_i: set[int] = set()
+        self.scratch: set[str] = set()
+        self.flats: set[str] = set()
+        self.can_abort = False
+        self.stores = 0
+        self.fusable = True
+
+    # -- expression helpers --------------------------------------------------
+
+    def const(self, kind: str, value: int) -> str:
+        key = (kind, value)
+        name = self._const_names.get(key)
+        if name is None:
+            name = f"K{len(self._const_names)}"
+            self._const_names[key] = name
+            if kind == "u32":
+                self.consts[name] = np.uint32(value & _M)
+            elif kind == "i32":
+                self.consts[name] = np.int32(value)
+            else:  # plain python int (int64 arithmetic via weak promotion)
+                self.consts[name] = int(value)
+        return name
+
+    def ru(self, reg: int) -> str:
+        self.cols_u.add(reg)
+        return f"r{reg}"
+
+    def ri(self, reg: int) -> str:
+        self.cols_i.add(reg)
+        return f"i{reg}"
+
+    def scr(self, name: str) -> str:
+        self.scratch.add(name)
+        return name
+
+    def flat(self, name: str) -> str:
+        self.flats.add(name)
+        return name
+
+    def line(self, text: str) -> None:
+        self.body.append("    " + text)
+
+    def abort(self, condition: str) -> None:
+        """Roll back registers and bail to the per-instruction path."""
+        self.can_abort = True
+        self.line(f"if {condition}:")
+        self.line("    np.copyto(regs, saved)")
+        self.line("    return False")
+
+    # -- per-instruction emitters -------------------------------------------
+
+    def emit_alu(self, ins) -> None:
+        op, rd = ins.op, ins.rd
+        if op in _ALU3:
+            if rd:
+                self.line(f"{_ALU3[op]}({self.ru(ins.rs1)}, "
+                          f"{self.ru(ins.rs2)}, out={self.ru(rd)})")
+        elif op in _ALUI:
+            if rd:
+                self.line(f"{_ALUI[op]}({self.ru(ins.rs1)}, "
+                          f"{self.const('u32', ins.imm)}, out={self.ru(rd)})")
+        elif op in (Op.SLL, Op.SRL):
+            if rd:
+                t = self.scr("t")
+                self.line(f"np.bitwise_and({self.ru(ins.rs2)}, "
+                          f"{self.const('u32', 31)}, out={t})")
+                fn = "np.left_shift" if op is Op.SLL else "np.right_shift"
+                self.line(f"{fn}({self.ru(ins.rs1)}, {t}, "
+                          f"out={self.ru(rd)})")
+        elif op is Op.SRA:
+            if rd:
+                self.scr("t")
+                ti = self.scr("ti")
+                self.line(f"np.bitwise_and({self.ru(ins.rs2)}, "
+                          f"{self.const('u32', 31)}, out=t)")
+                self.line(f"np.right_shift({self.ri(ins.rs1)}, {ti}, "
+                          f"out={self.ri(rd)})")
+        elif op in (Op.SLLI, Op.SRLI):
+            if rd:
+                fn = "np.left_shift" if op is Op.SLLI else "np.right_shift"
+                self.line(f"{fn}({self.ru(ins.rs1)}, "
+                          f"{self.const('u32', ins.imm)}, out={self.ru(rd)})")
+        elif op is Op.SRAI:
+            if rd:
+                self.line(f"np.right_shift({self.ri(ins.rs1)}, "
+                          f"{self.const('i32', ins.imm)}, "
+                          f"out={self.ri(rd)})")
+        elif op is Op.SLT:
+            if rd:
+                self.line(f"np.less({self.ri(ins.rs1)}, {self.ri(ins.rs2)}, "
+                          f"out={self.ru(rd)})")
+        elif op is Op.SLTU:
+            if rd:
+                self.line(f"np.less({self.ru(ins.rs1)}, {self.ru(ins.rs2)}, "
+                          f"out={self.ru(rd)})")
+        elif op is Op.SLTI:
+            if rd:
+                self.line(f"np.less({self.ri(ins.rs1)}, "
+                          f"{self.const('i32', ins.imm)}, out={self.ru(rd)})")
+        elif op is Op.SLTIU:
+            if rd:
+                self.line(f"np.less({self.ru(ins.rs1)}, "
+                          f"{self.const('u32', ins.imm)}, out={self.ru(rd)})")
+        elif op is Op.LUI:
+            if rd:
+                self.line(f"{self.ru(rd)}[...] = "
+                          f"{self.const('u32', (ins.imm << 16) & _M)}")
+        elif op in (Op.DIVU, Op.REMU):
+            bt = self.scr("bt")
+            self.line(f"np.equal({self.ru(ins.rs2)}, "
+                      f"{self.const('u32', 0)}, out={bt})")
+            self.abort(f"{bt}.any()")
+            if rd:
+                fn = ("np.floor_divide" if op is Op.DIVU
+                      else "np.remainder")
+                self.line(f"{fn}({self.ru(ins.rs1)}, {self.ru(ins.rs2)}, "
+                          f"out={self.ru(rd)})")
+        else:  # pragma: no cover - body ops are exhaustive
+            raise AssertionError(f"unexpected ALU op {op!r}")
+
+    def _emit_addr(self, ins, width: int) -> None:
+        """Compute the access address in ``a`` and trap-check it."""
+        a = self.scr("a")
+        self.line(f"np.copyto({a}, {self.ru(ins.rs1)})")
+        if ins.imm:
+            self.line(f"np.add({a}, {self.const('int', ins.imm)}, out={a})")
+        if width > 1:
+            q = self.scr("q")
+            self.line(f"np.bitwise_and({a}, "
+                      f"{self.const('int', width - 1)}, out={q})")
+            self.abort(f"{q}.any()")
+        au = self.scr("au")
+        bt = self.scr("bt")
+        self.line(f"np.greater({au}, "
+                  f"{self.const('int', self.ram_size - width)}, out={bt})")
+        self.abort(f"{bt}.any()")
+
+    def _emit_index(self, width: int) -> None:
+        """Turn the byte address in ``a`` into a flat element index."""
+        if width == 4:
+            self.line("np.right_shift(a, 2, out=a)")
+            off = self.scr("o32")
+        elif width == 2:
+            self.line("np.right_shift(a, 1, out=a)")
+            off = self.scr("o16")
+        else:
+            off = self.scr("o8")
+        self.line(f"np.add(a, {off}, out=a)")
+
+    def emit_load(self, ins) -> None:
+        op = ins.op
+        width = _LOADS[op]
+        if self.ram_size < width:
+            self.fusable = False
+            return
+        self._emit_addr(ins, width)
+        if not ins.rd:
+            return  # trap checks only; the load itself has no effect
+        self._emit_index(width)
+        if op is Op.LW:
+            self.line(f"np.take({self.flat('F32')}, a, "
+                      f"out={self.ru(ins.rd)})")
+        elif op is Op.LHU:
+            g = self.scr("h16")
+            self.line(f"np.take({self.flat('F16')}, a, out={g})")
+            self.line(f"{self.ru(ins.rd)}[...] = {g}")
+        elif op is Op.LH:
+            g = self.scr("g16")
+            self.line(f"np.take({self.flat('F16i')}, a, out={g})")
+            self.line(f"{self.ru(ins.rd)}[...] = {g}")
+        elif op is Op.LBU:
+            g = self.scr("h8")
+            self.line(f"np.take({self.flat('F8')}, a, out={g})")
+            self.line(f"{self.ru(ins.rd)}[...] = {g}")
+        else:  # LB
+            g = self.scr("g8")
+            self.line(f"np.take({self.flat('F8i')}, a, out={g})")
+            self.line(f"{self.ru(ins.rd)}[...] = {g}")
+
+    def emit_store(self, ins) -> tuple[str, str] | None:
+        """Buffer one store; returns the commit statement's pieces."""
+        width = _STORES[ins.op]
+        if self.ram_size < width:
+            self.fusable = False
+            return None
+        self._emit_addr(ins, width)
+        self._emit_index(width)
+        k = self.stores
+        self.stores += 1
+        si = self.scr(f"si{k}")
+        sv = self.scr(f"sv{k}")
+        self.line(f"np.copyto({si}, a)")
+        self.line(f"np.copyto({sv}, {self.ru(ins.rs2)})")
+        flat = {4: "F32", 2: "F16", 1: "F8"}[width]
+        return (f"{self.flat(flat)}[{si}]", sv)
+
+
+def _emit_terminal(em: _BlockEmitter, ins, pc: int) -> bool:
+    """Fold a block terminal into the kernel for the unanimous case.
+
+    Returns True when the terminal could be (conditionally) fused; the
+    non-unanimous / over-budget cases leave ``L.pc`` at the terminal
+    instruction for the caller's `_step` to handle exactly.
+    """
+    op = ins.op
+    if op in _BRANCHES:
+        target, fall = ins.imm, pc + 1
+        em.line("if L.cycle < target:")
+        if target == fall:
+            em.line(f"    L.pc = {target}")
+            em.line("    L.cycle += 1")
+            return True
+        fn, signed = _BRANCH_COND[op]
+        opa = em.ri(ins.rs1) if signed else em.ru(ins.rs1)
+        opb = em.ri(ins.rs2) if signed else em.ru(ins.rs2)
+        bt = em.scr("bt")
+        em.line(f"    {fn}({opa}, {opb}, out={bt})")
+        em.line(f"    _nt = np.count_nonzero({bt})")
+        em.line("    if _nt == n:")
+        em.line(f"        L.pc = {target}")
+        em.line("        L.cycle += 1")
+        em.line("    elif _nt == 0:")
+        em.line(f"        L.pc = {fall}")
+        em.line("        L.cycle += 1")
+        return True
+    if op is Op.JAL:
+        em.line("if L.cycle < target:")
+        if ins.rd:
+            em.line(f"    {em.ru(ins.rd)}[...] = {em.const('u32', pc + 1)}")
+        em.line(f"    L.pc = {ins.imm}")
+        em.line("    L.cycle += 1")
+        return True
+    if op is Op.JALR:
+        t = em.scr("t")
+        bt = em.scr("bt")
+        em.line("if L.cycle < target:")
+        em.line(f"    np.add({em.ru(ins.rs1)}, "
+                f"{em.const('u32', ins.imm)}, out={t})")
+        em.line(f"    np.equal({t}, {t}[0], out={bt})")
+        em.line(f"    if {bt}.all():")
+        if ins.rd:
+            em.line(f"        {em.ru(ins.rd)}[...] = "
+                    f"{em.const('u32', pc + 1)}")
+        em.line(f"        L.pc = int({t}[0])")
+        em.line("        L.cycle += 1")
+        return True
+    return False  # HALT: always per-instruction
+
+
+def compile_fused(program: Program) -> FusedProgram | None:
+    """Compile every profitable basic block of ``program``.
+
+    Returns ``None`` when nothing can be fused (big-endian host, empty
+    ROM, or no block with a fusable body of at least two dispatches).
+    """
+    if sys.byteorder != "little":
+        return None  # pragma: no cover - flat views assume little-endian
+    rom = program.rom
+    if not rom:
+        return None
+    consts: dict[str, object] = {}
+    const_names: dict[tuple, str] = {}
+    chunks: list[str] = []
+    specs: list[tuple[int, int, bool, str]] = []
+    max_stores = 0
+    for block in _find_blocks(rom, program.entry):
+        em = _BlockEmitter(consts, const_names, program.ram_size)
+        commits: list[tuple[str, str]] = []
+        detects: list[tuple[int, int]] = []
+        body_len = 0
+        terminal = None
+        term_pc = block.start
+        seen_store = False
+        for pc, ins in block.instrs:
+            op = ins.op
+            if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU,
+                      Op.JAL, Op.JALR, Op.HALT):
+                terminal, term_pc = ins, pc
+                break
+            if op is Op.OUT:
+                term_pc = pc
+                break  # oracle divergence needs the scalar path
+            if op in _LOADS and seen_store:
+                term_pc = pc
+                break  # would read stale RAM under store buffering
+            if op is Op.NOP:
+                pass
+            elif op is Op.DETECT:
+                detects.append((body_len, ins.imm))
+            elif op in _LOADS:
+                em.emit_load(ins)
+            elif op in _STORES:
+                piece = em.emit_store(ins)
+                if piece is not None:
+                    commits.append(piece)
+                seen_store = True
+            else:
+                em.emit_alu(ins)
+            if not em.fusable:
+                break
+            body_len += 1
+            term_pc = pc + 1
+        if not em.fusable:
+            continue
+        # Commit epilogue: buffered stores, deferred detects, clock.
+        for lhs, sv in commits:
+            em.line(f"{lhs} = {sv}")
+        if detects:
+            em.line("_c = L.cycle")
+            for offset, code in detects:
+                em.line(f"_t = (_c + {offset + 1}, {code})")
+                em.line("for _d in L.detections:")
+                em.line("    _d.append(_t)")
+        em.line(f"L.cycle += {body_len}")
+        em.line(f"L.pc = {term_pc}")
+        fused_terminal = (terminal is not None and body_len == term_pc -
+                          block.start and _emit_terminal(em, terminal,
+                                                         term_pc))
+        if body_len + (1 if fused_terminal else 0) < 2:
+            continue
+        em.line("return True")
+        name = f"_k{block.start}"
+        chunks.append(_render(name, em))
+        specs.append((block.start, body_len, em.stores > 0, name))
+        max_stores = max(max_stores, em.stores)
+    if not specs:
+        return None
+    source = "\n".join(chunks)
+    namespace: dict[str, object] = {"np": np, **consts}
+    exec(compile(source, "<fused>", "exec"), namespace)  # noqa: S102
+    blocks = {start: FusedBlock(start, body_len, has_store,
+                                namespace[name])
+              for start, body_len, has_store, name in specs}
+    return FusedProgram(blocks=blocks, max_stores=max_stores, source=source)
+
+
+def _render(name: str, em: _BlockEmitter) -> str:
+    """Assemble one kernel function: preamble + body + epilogue."""
+    lines = [f"def {name}(L, n, target):", "    regs = L.regs"]
+    if em.can_abort:
+        em.scratch.add("saved")
+    if em.scratch:
+        lines.append("    s = L._fused_scratch(n)")
+        for nm in sorted(em.scratch):
+            lines.append(f"    {nm} = s['{nm}']")
+    if em.can_abort:
+        lines.append("    np.copyto(saved, regs)")
+    for reg in sorted(em.cols_u):
+        lines.append(f"    r{reg} = regs[:, {reg}]")
+    if em.cols_i:
+        lines.append("    ri_ = regs.view(np.int32)")
+        for reg in sorted(em.cols_i):
+            lines.append(f"    i{reg} = ri_[:, {reg}]")
+    for nm in sorted(em.flats):
+        attr = {"F32": "_flat32", "F16": "_flat16", "F16i": "_flat16i",
+                "F8": "_flat", "F8i": "_flat8i"}[nm]
+        lines.append(f"    {nm} = L.{attr}")
+    lines.extend(em.body)
+    return "\n".join(lines) + "\n"

@@ -3,10 +3,12 @@ compiled execution core.
 
 The same campaign (full scan, brute force, sampling; every registered
 fault domain; convergence and slicing on and off) run under the
-``interp``, ``compiled`` and ``batch`` engines must produce
+``interp``, ``compiled``, ``batch`` and ``auto`` engines must produce
 bit-for-bit identical results: equal outcome maps and records, equal
 journal rows, and byte-identical exported CSV files.  The engine knob
-is a pure optimization — any observable difference is a bug.
+is a pure optimization — any observable difference is a bug.  ``auto``
+exercises the tier planner on top: whatever tier it picks per
+(golden, domain) must land on the same bits as the rest.
 """
 
 import sqlite3
@@ -23,7 +25,7 @@ from repro.campaign import (
 from repro.campaign.database import export_class_results_csv
 from repro.programs import hi, micro
 
-ENGINE_NAMES = ["interp", "compiled", "batch"]
+ENGINE_NAMES = ["interp", "compiled", "batch", "auto"]
 
 
 @pytest.fixture(scope="module")
@@ -63,8 +65,8 @@ class TestFullScanEquivalence:
             path = tmp_path / f"{domain}-{engine}.csv"
             export_class_results_csv(result, path)
             blobs[engine] = path.read_bytes()
-        assert blobs["compiled"] == blobs["interp"]
-        assert blobs["batch"] == blobs["interp"]
+        for engine in ENGINE_NAMES[1:]:
+            assert blobs[engine] == blobs["interp"], engine
 
     def test_scan_without_convergence_or_snapshots(self, counter_golden):
         """The slow paths (no early-exit, no fast-forward) agree too."""
@@ -117,8 +119,8 @@ class TestFullScanEquivalence:
                 dumps[engine] = dump
             finally:
                 conn.close()
-        assert dumps["compiled"] == dumps["interp"]
-        assert dumps["batch"] == dumps["interp"]
+        for engine in ENGINE_NAMES[1:]:
+            assert dumps[engine] == dumps["interp"], engine
 
     def test_engine_resume_interoperates(self, counter_golden, tmp_path):
         """A journal written under one engine resumes under another —
@@ -234,8 +236,8 @@ class TestCLIEngineFlag:
         for engine in ENGINE_NAMES:
             main(["scan", "hi", "--engine", engine])
             outputs[engine] = capsys.readouterr().out
-        assert outputs["compiled"] == outputs["interp"]
-        assert outputs["batch"] == outputs["interp"]
+        for engine in ENGINE_NAMES[1:]:
+            assert outputs[engine] == outputs["interp"], engine
 
     def test_unknown_engine_rejected(self):
         from repro.cli import main

@@ -22,7 +22,7 @@ vanish; the engines must merely tell the same story.
 
 import pytest
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
 
 from repro.campaign import ExecutorConfig, record_golden
 from repro.engine.compiled import CompiledMachine
@@ -193,3 +193,71 @@ def test_executors_agree_on_records(domain, program, data):
         records[engine] = executor.run_many(coords)
     assert records["compiled"] == records["interp"]
     assert records["batch"] == records["interp"]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(program=fuzz_programs(detect=False), data=st.data())
+def test_fused_dispatch_matches_per_instruction_lanes(program, data):
+    """Lane-level: fused kernels leave every lane bit-identical.
+
+    The same pack — same start state, same per-lane faults, same
+    ``run_to`` chunk boundaries — advanced once with the fused
+    basic-block kernels and once through the per-instruction ``_step``
+    path must agree on every observable at every boundary: shared pc
+    and cycle, per-lane state digests, and the full exit stream.
+    """
+    from repro.engine.batch import LockstepLanes
+    from repro.engine.fused import compile_fused
+
+    fused = compile_fused(program)
+    assume(fused is not None)
+
+    golden = Machine(program)
+    golden.run(100_000)
+    assert golden.halted, "generated program must halt fault-free"
+    total, serial = golden.cycle, bytes(golden.serial)
+
+    start = data.draw(st.integers(0, total - 1), label="start")
+    machine = Machine(program)
+    machine.run_to_cycle(start)
+    state = machine.snapshot()
+
+    n = data.draw(st.integers(2, 6), label="lanes")
+    faults = []
+    for lane in range(n):
+        if data.draw(st.booleans(), label=f"memory_fault_{lane}"):
+            faults.append(("mem",
+                           data.draw(st.integers(0, RAM_SIZE - 1)),
+                           data.draw(st.integers(0, 7))))
+        else:
+            faults.append(("reg",
+                           data.draw(st.integers(1, 15)),
+                           data.draw(st.integers(0, 31))))
+    limit = 4 * total + 100
+    steps = data.draw(st.lists(st.integers(1, total),
+                               min_size=0, max_size=3),
+                      label="chunks")
+    targets = sorted({start + s for s in steps} | {limit})
+
+    def observe(kernels):
+        lanes = LockstepLanes(program, state, n, oracle=serial,
+                              fused=kernels)
+        for lane, (kind, a, b) in enumerate(faults):
+            view = lanes.lane_view(lane)
+            if kind == "mem":
+                view.flip_bit(a, b)
+            else:
+                view.flip_register_bit(a, b)
+        snaps = []
+        for target in targets:
+            lanes.run_to(target)
+            snaps.append((lanes.pc, lanes.cycle,
+                          {lanes.ids[pos]: lanes.digest(pos)
+                           for pos in range(lanes.n)}))
+        exits = {exit.lane: (exit.kind, exit.cycle, exit.trap,
+                             exit.serial, exit.detections, exit.state)
+                 for exit in lanes.pop_exits()}
+        return snaps, exits
+
+    assert observe(fused) == observe(None)
