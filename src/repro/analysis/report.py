@@ -137,6 +137,32 @@ def completeness_report(report: ExecutionReport) -> str:
     if report.failed_shards:
         lines.append(f"  shards abandoned after retry budget: "
                      f"{report.failed_shards}")
+    if report.integrity_rejected:
+        lines.append(
+            f"  integrity rejections: {report.integrity_rejected} "
+            f"result frame(s) refused (CRC or shape)")
+    if report.crosschecked:
+        line = (f"  cross-checked: {report.crosschecked} class(es) "
+                f"re-executed on a second worker")
+        if report.crosscheck_mismatches:
+            line += f"; {report.crosscheck_mismatches} mismatch(es)"
+        if report.crosscheck_unverified:
+            line += (f"; {report.crosscheck_unverified} left "
+                     f"unverified (no second worker)")
+        lines.append(line)
+    if report.discarded_results:
+        lines.append(
+            f"  discarded and re-queued: {report.discarded_results} "
+            f"journaled class(es) (byzantine rollback or salvage)")
+    if report.quarantined_workers:
+        lines.append(
+            f"  quarantined workers: "
+            f"{', '.join(report.quarantined_workers)}")
+    if report.poison_splits or report.poison_keys:
+        keys = ", ".join(str(list(key)) for key in report.poison_keys)
+        lines.append(
+            f"  poison-shard hunt: {report.poison_splits} bisection(s)"
+            + (f"; poisonous key(s): {keys}" if keys else ""))
     if report.workers:
         attribution = ", ".join(f"{name}: {units}"
                                 for name, units in report.workers)

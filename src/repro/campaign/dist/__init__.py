@@ -12,10 +12,26 @@ journal keys, and degrades permanently lost shards into
 accounting.  The result is bit-for-bit identical to a serial run —
 see :mod:`repro.campaign.dist.coordinator` for the argument.
 
+The fabric is additionally *self-hosting* for fault injection: a
+seeded :class:`~repro.campaign.dist.chaos.ChaosPlan` injects frame
+drops, duplications, corruptions, delays, kills and hangs through a
+deterministic proxy; a
+:class:`~repro.campaign.dist.supervision.WorkerSupervisor` quarantines
+flapping or byzantine workers; and end-to-end CRCs plus cross-check
+sampling guarantee the journal only ever holds verified bytes.
+
 Everything is stdlib (``socket``, ``asyncio``, ``json``); there is no
 new dependency and no pickle on the wire.
 """
 
+from .chaos import (
+    ChaosFrameStream,
+    ChaosInterrupt,
+    ChaosPlan,
+    WorkerChaos,
+    plan_from_env,
+    plan_from_spec,
+)
 from .coordinator import DistCoordinator, run_distributed_scan
 from .leases import LeaseBoard, ShardLease
 from .protocol import (
@@ -25,11 +41,16 @@ from .protocol import (
     decode_frame,
     encode_frame,
     read_frame,
+    result_digest,
     write_frame,
 )
+from .supervision import SupervisionPolicy, WorkerState, WorkerSupervisor
 from .worker import DistWorker, WorkerRejected
 
 __all__ = [
+    "ChaosFrameStream",
+    "ChaosInterrupt",
+    "ChaosPlan",
     "DistCoordinator",
     "DistWorker",
     "FrameStream",
@@ -37,10 +58,17 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ShardLease",
+    "SupervisionPolicy",
+    "WorkerChaos",
     "WorkerRejected",
+    "WorkerState",
+    "WorkerSupervisor",
     "decode_frame",
     "encode_frame",
+    "plan_from_env",
+    "plan_from_spec",
     "read_frame",
+    "result_digest",
     "run_distributed_scan",
     "write_frame",
 ]

@@ -30,6 +30,30 @@ retry budget; shards that exhaust it degrade into
 coordinator itself is restartable: results and lease retry state are
 journaled as they arrive, so a new coordinator pointed at the same
 journal resumes with only in-flight work lost.
+
+**Supervision and integrity** sit on top of the lease board:
+
+* A :class:`~.supervision.WorkerSupervisor` scores every lease expiry,
+  disconnect and integrity rejection; workers that keep failing are
+  quarantined (no leases, no accepted results) and re-admitted through
+  probation.  Quarantines are journaled as fabric events.
+* Every ``result`` frame's CRC is re-derived from the decoded payload
+  and its rows are validated against the domain's expected experiment
+  count *before* any accounting — a corrupted frame costs the sender
+  failure score but never touches the journal.
+* ``crosscheck`` samples a deterministic fraction of class keys for
+  re-execution on a *second* worker (verify leases: negative lease id,
+  ``shard == -1``).  A digest mismatch discards the journaled row and
+  re-queues the key as a tiebreak shard excluded from both disputants;
+  the third, independent result outvotes the liar, which is quarantined
+  permanently and has every unverified delivery discarded and re-queued.
+* A shard whose execution keeps *killing* distinct workers is bisected
+  (:meth:`~.leases.LeaseBoard.split_shard`) until the poisonous key is
+  isolated and reported instead of burning the whole shard's budget.
+
+The section-store write of freshly executed classes is deferred to
+assembly time, after all discards have settled, so a byzantine row can
+never poison the cross-campaign section store.
 """
 
 from __future__ import annotations
@@ -38,6 +62,7 @@ import asyncio
 import dataclasses
 import json
 import os
+import random
 import socket
 import subprocess
 import sys
@@ -55,18 +80,30 @@ from ..journal import (
     CampaignJournal,
     ExecutionReport,
     ExperimentJournal,
+    invalid_classes,
     open_campaign,
 )
+from ..outcomes import Outcome
 from ..parallel import (RetryPolicy, class_cost, plan_class_shards,
                         tune_shard_count)
-from .leases import FAILED, LeaseBoard
-from .protocol import PROTOCOL_VERSION, ProtocolError, read_frame, write_frame
+from .chaos import PLAN_ENV, ChaosPlan, plan_from_spec
+from .leases import FAILED, LEASED, LeaseBoard
+from .protocol import (PROTOCOL_VERSION, ProtocolError, read_frame,
+                       result_digest, write_frame)
+from .supervision import QUARANTINED, SupervisionPolicy, WorkerSupervisor
 
 ProgressCallback = Callable[[int, int], None]
 
 #: Default shard count: finer than one-per-worker so a lost node's work
 #: re-distributes across the survivors instead of doubling one of them.
 DEFAULT_SHARDS = 8
+
+#: Valid outcome strings a result row may carry.
+_OUTCOME_VALUES = frozenset(outcome.value for outcome in Outcome)
+
+#: Keys per verify (cross-check) lease: small batches keep the second
+#: worker's turnaround short so disputes surface quickly.
+VERIFY_BATCH = 8
 
 
 def _canonical_keys(keys) -> str:
@@ -92,7 +129,15 @@ class DistCoordinator:
     ``stop_after_results`` is a test hook: the coordinator abruptly
     drops every connection and returns ``None`` after accepting that
     many fresh class results, simulating a coordinator crash mid-flight
-    (the journal keeps everything accepted so far).
+    (the journal keeps everything accepted so far).  A ``chaos`` plan
+    whose :attr:`~.chaos.ChaosPlan.stop_coordinator_after` is set maps
+    onto the same hook, so one seeded schedule drives both sides of the
+    fabric.
+
+    ``crosscheck`` is the fraction of class keys (deterministically
+    selected per key) whose first delivery is re-executed on a second
+    worker and byte-compared; ``supervision`` tunes the worker circuit
+    breaker (:class:`~.supervision.SupervisionPolicy`).
     """
 
     def __init__(self, golden: GoldenRun, *,
@@ -106,14 +151,23 @@ class DistCoordinator:
                  progress: ProgressCallback | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  sock: socket.socket | None = None,
-                 stop_after_results: int | None = None):
+                 stop_after_results: int | None = None,
+                 supervision: SupervisionPolicy | None = None,
+                 crosscheck: float = 0.0,
+                 chaos: ChaosPlan | None = None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if not 0.0 <= crosscheck <= 1.0:
+            raise ValueError(
+                f"crosscheck must be in [0, 1], got {crosscheck}")
         self.golden = golden
         self.domain = get_domain(domain)
         config = executor_config or ExecutorConfig()
         self.config = dataclasses.replace(config, domain=self.domain.name)
         self.policy = policy or RetryPolicy()
+        if config.lease_timeout is not None:
+            self.policy = dataclasses.replace(
+                self.policy, shard_timeout=config.lease_timeout)
         self.shards = shards
         self.expected_workers = expected_workers
         self.journal = journal
@@ -123,7 +177,13 @@ class DistCoordinator:
         self.host = host
         self.port = port
         self._sock = sock
+        self.chaos = chaos
+        if stop_after_results is None and chaos is not None:
+            stop_after_results = chaos.stop_coordinator_after
         self.stop_after_results = stop_after_results
+        self.supervisor = WorkerSupervisor(
+            policy=supervision or SupervisionPolicy())
+        self.crosscheck = crosscheck
         #: ``(host, port)`` actually bound, set once serving.
         self.address: tuple[str, int] | None = None
         self.stopped = False
@@ -134,6 +194,18 @@ class DistCoordinator:
         self._conn_tasks: set = set()
         self._last_seen: dict[str, float] = {}
         self._lease_cache: dict[int, tuple] = {}
+        # Cross-check state: keys awaiting a second, independent
+        # execution; verify leases in flight; open disputes.
+        self._check_pending: dict[tuple, tuple[str, int]] = {}
+        self._check_inflight: dict[int, tuple[str, tuple]] = {}
+        self._inflight_keys: set = set()
+        self._tiebreaks: dict[tuple, dict] = {}
+        #: Per worker: merged-but-not-yet-verified keys (what a
+        #: byzantine conviction discards).
+        self._delivered: dict[str, set] = {}
+        self._expected_rows: dict[tuple, int] = {}
+        self._next_verify_id = 0
+        self._drain_deadline: float | None = None
 
     # -- identity shipped to workers -------------------------------------------
 
@@ -188,6 +260,11 @@ class DistCoordinator:
                 handle.clear()
             return await self._serve(handle, partition)
         finally:
+            # Close whichever journal this coordinator opened itself —
+            # the in-memory fallback or a path-opened file (closing
+            # checkpoints the WAL into the main file, so the journal on
+            # disk is whole, copyable and salvage-friendly afterwards).
+            handle.close()
             if owned is not None:
                 owned.close()
 
@@ -196,14 +273,32 @@ class DistCoordinator:
         completed = handle.completed_classes()
         live = partition.live_classes()  # sorted by injection slot
         self.report = ExecutionReport(total_units=len(live))
+        self._by_key = {domain.class_key(interval): interval
+                        for interval in live}
+        # Never trust resumed classes blindly: a salvaged journal can
+        # hold partial classes (page loss truncates committed rows), so
+        # validate every resumed class against the domain's expected
+        # experiment count and re-execute the bad ones.
+        pruned = invalid_classes(
+            completed,
+            {key: self._expected_count(key) for key in completed
+             if key in self._by_key})
+        pruned.extend(key for key in completed if key not in self._by_key)
+        if pruned:
+            handle.discard_classes(pruned)
+            for key in pruned:
+                completed.pop(key, None)
+            self.report.discarded_results += len(pruned)
+            handle.record_event(
+                "salvage-prune", at=time.time(),
+                detail=f"{len(pruned)} resumed classes failed "
+                       f"validation and were discarded")
         # Compose store-known classes before planning leases: composed
         # classes join ``completed`` and are never leased to any worker.
         self._composer = build_composer(handle, golden, domain,
                                         self._journal_params())
         compose_into_completed(self._composer, live, completed, handle,
                                self.report)
-        self._by_key = {domain.class_key(interval): interval
-                        for interval in live}
         key_costs = {domain.class_key(interval):
                      class_cost(interval, golden.cycles, bits=domain.bits)
                      for interval in live}
@@ -232,6 +327,9 @@ class DistCoordinator:
                               status=stored["status"])
         self.board = board
         self.handle = handle
+        #: Classes trusted before any worker connected (resumed or
+        #: composed) — assembly must not re-store these.
+        self._initial_completed = frozenset(completed)
         self.report.resumed = len(completed)
         self._done_total = len(live)
         self._done_count = self.report.resumed
@@ -282,8 +380,20 @@ class DistCoordinator:
     async def _watchdog(self):
         while True:
             await asyncio.sleep(self.policy.poll_interval)
-            if self.board.expire(time.monotonic()):
+            now = time.monotonic()
+            # Capture holders before expiry clears the leases — the
+            # supervisor charges the worker, not the shard.
+            overdue = [shard.lease.worker for shard in self.board.shards()
+                       if shard.status == LEASED
+                       and shard.lease is not None
+                       and now >= shard.lease.deadline]
+            if self.board.expire(now):
+                for worker in overdue:
+                    self._charge_failure(worker, now,
+                                         reason="lease expired")
+                self._check_poison(now)
                 self._journal_leases()
+            self._drain_crosschecks(now)
             self._maybe_finish()
 
     # -- per-connection protocol ------------------------------------------------
@@ -334,8 +444,13 @@ class DistCoordinator:
                 # On the simulated-crash path connections die *without*
                 # lease bookkeeping, exactly as a killed process would.
                 if not self.stopped:
-                    if self.board.release_worker(name, time.monotonic()):
+                    now = time.monotonic()
+                    if self.board.release_worker(name, now):
+                        self._charge_failure(
+                            name, now, reason="disconnected mid-lease")
+                        self._check_poison(now)
                         self._journal_leases()
+                    self._release_verifies(name)
                     self._maybe_finish()
             writer.close()
 
@@ -348,25 +463,21 @@ class DistCoordinator:
             kind = frame.get("type")
             now = time.monotonic()
             self._last_seen[name] = now
+            self.supervisor.seen(name, now)
             if kind == "request":
-                grant = self.board.acquire(name, now)
-                if grant is None:
-                    write_frame(writer, {"type": "done"})
-                elif isinstance(grant, float):
-                    write_frame(writer, {"type": "wait", "seconds": grant})
-                else:
-                    self._journal_leases()
-                    write_frame(writer, {
-                        "type": "lease", "lease": grant.lease_id,
-                        "shard": grant.shard,
-                        "keys": [list(key) for key in grant.keys]})
+                write_frame(writer, self._grant(name, now))
                 await writer.drain()
             elif kind == "result":
                 self._accept_result(name, frame, now)
             elif kind == "lease_done":
-                self.board.finish(int(frame["shard"]), int(frame["lease"]),
-                                  now)
-                self._journal_leases()
+                shard = int(frame["shard"])
+                if shard < 0:
+                    # A verify lease ran to completion; any key not
+                    # answered (dropped frame) becomes grantable again.
+                    self._release_verify_lease(int(frame["lease"]))
+                else:
+                    self.board.finish(shard, int(frame["lease"]), now)
+                    self._journal_leases()
                 self._maybe_finish()
             elif kind == "heartbeat":
                 pass  # liveness only — progress, not heartbeats,
@@ -394,24 +505,114 @@ class DistCoordinator:
                     ConnectionError, OSError):
                 pass
 
+    # -- work granting ----------------------------------------------------------
+
+    def _grant(self, name: str, now: float) -> dict:
+        """The frame answering one worker's ``request``."""
+        before = self.supervisor.status(name)
+        if not self.supervisor.allowed(name, now):
+            return {"type": "wait",
+                    "seconds": self.supervisor.retry_after(name, now)}
+        if before == QUARANTINED:
+            # allowed() just graduated an expired quarantine.
+            self.handle.record_event("probation", worker=name,
+                                     at=time.time())
+        grant = self.board.acquire(name, now)
+        if grant is None:
+            verify = self._grant_verify(name, now)
+            if verify is not None:
+                return verify
+            if self._check_pending:
+                # Regular work is exhausted but cross-checks are
+                # unresolved; hold the fleet until they settle (or the
+                # watchdog's patience expires).
+                return {"type": "wait",
+                        "seconds": max(0.05, self.policy.heartbeat / 2)}
+            return {"type": "done"}
+        if isinstance(grant, float):
+            return {"type": "wait", "seconds": grant}
+        self._journal_leases()
+        return {"type": "lease", "lease": grant.lease_id,
+                "shard": grant.shard,
+                "keys": [list(key) for key in grant.keys]}
+
+    def _grant_verify(self, name: str, now: float) -> dict | None:
+        """A verify lease re-executing other workers' sampled keys."""
+        keys = sorted(
+            key for key, (worker, _crc) in self._check_pending.items()
+            if worker != name and key not in self._inflight_keys)
+        if not keys:
+            return None
+        keys = keys[:VERIFY_BATCH]
+        self._next_verify_id -= 1
+        lease_id = self._next_verify_id
+        self._check_inflight[lease_id] = (name, tuple(keys))
+        self._inflight_keys.update(keys)
+        return {"type": "lease", "lease": lease_id, "shard": -1,
+                "verify": True, "keys": [list(key) for key in keys]}
+
+    def _release_verify_lease(self, lease_id: int) -> None:
+        entry = self._check_inflight.pop(lease_id, None)
+        if entry is not None:
+            self._inflight_keys.difference_update(entry[1])
+
+    def _release_verifies(self, name: str) -> None:
+        """A worker left; its in-flight verify keys become grantable."""
+        for lease_id, (worker, _keys) in list(self._check_inflight.items()):
+            if worker == name:
+                self._release_verify_lease(lease_id)
+
+    # -- result acceptance ------------------------------------------------------
+
     def _accept_result(self, name: str, frame: dict, now: float) -> None:
-        axis, first_slot = (int(v) for v in frame["key"])
-        rows = [(int(bit), str(outcome), int(end_cycle), str(trap))
-                for bit, outcome, end_cycle, trap in frame["rows"]]
-        shard = int(frame["shard"])
-        self.board.progress(shard, (axis, first_slot), now)
+        if not self.supervisor.allowed(name, now):
+            # Rejected outright: a late frame from a quarantined (worst
+            # case: convicted-byzantine) worker must never win
+            # first-merge on a key the campaign just discarded.
+            return
+        try:
+            axis, first_slot = (int(v) for v in frame["key"])
+            rows = [(int(bit), str(outcome), int(end_cycle), str(trap))
+                    for bit, outcome, end_cycle, trap in frame["rows"]]
+            shard = int(frame["shard"])
+        except (KeyError, TypeError, ValueError):
+            self._reject(name, None, now, kind="shape-reject",
+                         reason="malformed result frame")
+            return
+        key = (axis, first_slot)
+        digest = result_digest(key, rows)
+        crc = frame.get("crc")
+        if crc is None or int(crc) != digest:
+            self._reject(name, key, now, kind="crc-reject",
+                         reason="frame CRC disagrees with payload")
+            return
+        if not self._valid_shape(key, rows):
+            self._reject(name, key, now, kind="shape-reject",
+                         reason="rows disagree with the domain's "
+                                "expected experiment count")
+            return
+        if shard < 0:
+            self._accept_verify(name, key, digest, now)
+            self._maybe_finish()
+            return
+        dispute = self._tiebreaks.get(key)
+        if dispute is not None:
+            suspects = {worker for worker, _crc in dispute["votes"]}
+            if name in suspects and shard != dispute["shard"]:
+                return  # stale retransmit from a disputing worker
+            self._resolve_tiebreak(name, key, digest, now, dispute)
+        self.board.progress(shard, key, now, worker=name)
         if self.handle.merge_class(axis, first_slot, rows):
             # First delivery: count it, and credit the worker.  Late or
             # duplicate copies (expired lease, retransmit) fall through —
-            # the journal already holds the identical rows.  Workers only
-            # deliver simulator-produced results (the dist fabric never
-            # synthesizes timeouts), so every accepted class feeds the
-            # cross-campaign section store.
-            interval = self._by_key.get((axis, first_slot))
-            if interval is not None:
-                self._composer.store_class(interval, [
-                    (bit, outcome, end_cycle, trap)
-                    for bit, outcome, end_cycle, trap in rows])
+            # the journal already holds the identical rows.  The section
+            # store is fed at assembly time, after discards settle.
+            self.supervisor.record_success(name, now)
+            self._delivered.setdefault(name, set()).add(key)
+            if dispute is None and self._crosscheck_selected(key):
+                self._check_pending[key] = (name, digest)
+                self._drain_deadline = None
+                self.report.crosschecked += 1
             self.report.executed += 1
             self.report.convergence_hits += int(frame.get("hits", 0))
             self.report.slice_hits += int(frame.get("skips", 0))
@@ -429,6 +630,187 @@ class DistCoordinator:
                 return
         self._maybe_finish()
 
+    def _accept_verify(self, name: str, key: tuple, digest: int,
+                       now: float) -> None:
+        """Compare a cross-check re-execution against the first copy."""
+        entry = self._check_pending.get(key)
+        if entry is None:
+            return  # duplicate or post-patience verify delivery
+        worker, crc = entry
+        if worker == name:
+            return  # a worker must never confirm itself
+        del self._check_pending[key]
+        self._inflight_keys.discard(key)
+        if crc == digest:
+            self.supervisor.record_success(name, now)
+            # Verified: the original delivery survives any later
+            # conviction of its worker.
+            self._delivered.get(worker, set()).discard(key)
+            return
+        # Dispute: someone returned wrong bytes, but two samples cannot
+        # say who.  Discard the journaled row and re-queue the key for
+        # a third, independent execution that outvotes the liar.
+        self.report.crosscheck_mismatches += 1
+        self.handle.record_event(
+            "crosscheck-mismatch", worker=worker, at=time.time(),
+            detail=f"{list(key)}: {crc} vs {digest} (verifier {name})")
+        if self.handle.discard_classes([key]):
+            self.report.discarded_results += 1
+            self._done_count -= 1
+        self._delivered.get(worker, set()).discard(key)
+        policy = self.supervisor.policy
+        shard_index = self.board.requeue(
+            [key], now=now, excluded=frozenset({worker, name}),
+            exclusion_seconds=policy.exclusion_seconds)
+        self._tiebreaks[key] = {"shard": shard_index,
+                                "votes": [(worker, crc), (name, digest)]}
+        self._journal_leases()
+
+    def _resolve_tiebreak(self, name: str, key: tuple, digest: int,
+                          now: float, dispute: dict) -> None:
+        """A third execution arrived; outvote and convict the liar."""
+        self._tiebreaks.pop(key, None)
+        votes = dispute["votes"]
+        suspects = {worker for worker, _crc in votes}
+        if name in suspects:
+            # The exclusion window lapsed and a disputant re-delivered:
+            # liveness won, attribution lost.  Accept the result but
+            # account the key as unverifiable.
+            self.report.crosscheck_unverified += 1
+            self.handle.record_event(
+                "crosscheck-stale", worker=name, at=time.time(),
+                detail=f"tiebreak for {list(key)} fell back to a "
+                       f"disputant")
+            return
+        for worker, crc in votes:
+            if crc != digest:
+                self._convict(worker, now, key=key)
+
+    def _convict(self, name: str, now: float, *, key: tuple) -> None:
+        """Permanent quarantine plus rollback of every unverified
+        delivery — the byzantine containment path."""
+        self.supervisor.quarantine(name, now, permanent=True,
+                                   reason="outvoted by cross-check")
+        self.handle.record_event(
+            "byzantine", worker=name, at=time.time(),
+            detail=f"outvoted on {list(key)}; permanently quarantined")
+        suspect_keys = sorted(self._delivered.pop(name, set()))
+        if not suspect_keys:
+            return
+        self.handle.discard_classes(suspect_keys)
+        self.report.discarded_results += len(suspect_keys)
+        self._done_count -= len(suspect_keys)
+        for skey in suspect_keys:
+            self._check_pending.pop(skey, None)
+            self._inflight_keys.discard(skey)
+        self.board.requeue(
+            suspect_keys, now=now, excluded=frozenset({name}),
+            exclusion_seconds=self.supervisor.policy.exclusion_seconds)
+        self.handle.record_event(
+            "discard", worker=name, at=time.time(),
+            detail=f"{len(suspect_keys)} unverified classes re-queued")
+        self._journal_leases()
+
+    # -- integrity and supervision helpers --------------------------------------
+
+    def _reject(self, name: str, key, now: float, *, kind: str,
+                reason: str) -> None:
+        """Refuse one result frame before it touches any accounting."""
+        self.report.integrity_rejected += 1
+        detail = reason if key is None else f"{list(key)}: {reason}"
+        self.handle.record_event(kind, worker=name, detail=detail,
+                                 at=time.time())
+        # An integrity violation outweighs a dropped connection.
+        self._charge_failure(name, now, weight=2.0, reason=reason)
+
+    def _charge_failure(self, name: str, now: float, *,
+                        weight: float = 1.0, reason: str = "") -> None:
+        if self.supervisor.record_failure(name, now, weight=weight,
+                                          reason=reason):
+            self.handle.record_event("quarantine", worker=name,
+                                     detail=reason, at=time.time())
+
+    def _check_poison(self, now: float) -> None:
+        """Bisect shards that keep killing workers; isolate the key."""
+        changed = False
+        suspects = self.board.poison_suspects(
+            self.supervisor.policy.poison_workers)
+        for shard in suspects:
+            if len(shard.remaining) > 1:
+                children = self.board.split_shard(shard.index, now)
+                if children:
+                    self.report.poison_splits += 1
+                    self.handle.record_event(
+                        "poison-split", at=time.time(),
+                        detail=f"shard {shard.index} "
+                               f"({len(shard.failed_workers)} workers "
+                               f"lost) bisected into {children}")
+                    changed = True
+            else:
+                for key in self.board.mark_poison(shard.index):
+                    self.handle.record_event(
+                        "poison-key", at=time.time(),
+                        detail=json.dumps(list(key)))
+                changed = True
+        if changed:
+            self._journal_leases()
+
+    def _drain_crosschecks(self, now: float) -> None:
+        """Give pending cross-checks a grace period once work is done.
+
+        A pending check whose only eligible verifier never shows up
+        (single-worker fleet, everyone else dead) must not hang the
+        campaign: after ``crosscheck_patience`` seconds with the board
+        finished, unresolved checks degrade to ``crosscheck_unverified``.
+        """
+        if self._done.is_set() or not self.board.done():
+            self._drain_deadline = None
+            return
+        if not self._check_pending and not self._inflight_keys:
+            return
+        if self._drain_deadline is None:
+            self._drain_deadline = \
+                now + self.supervisor.policy.crosscheck_patience
+            return
+        if now < self._drain_deadline:
+            return
+        for key in sorted(self._check_pending):
+            self.report.crosscheck_unverified += 1
+            self.handle.record_event(
+                "crosscheck-stale", at=time.time(),
+                worker=self._check_pending[key][0],
+                detail=f"{list(key)}: no second worker re-executed it")
+        self._check_pending.clear()
+        self._check_inflight.clear()
+        self._inflight_keys.clear()
+
+    def _crosscheck_selected(self, key: tuple) -> bool:
+        """Deterministic per-key sampling at the configured fraction."""
+        if self.crosscheck <= 0.0:
+            return False
+        if self.crosscheck >= 1.0:
+            return True
+        rng = random.Random(f"crosscheck/{key[0]}/{key[1]}")
+        return rng.random() < self.crosscheck
+
+    def _expected_count(self, key: tuple) -> int:
+        count = self._expected_rows.get(key)
+        if count is None:
+            interval = self._by_key.get(key)
+            count = -1 if interval is None \
+                else len(interval.experiments())
+            self._expected_rows[key] = count
+        return count
+
+    def _valid_shape(self, key: tuple, rows: list) -> bool:
+        """Rows must match the domain's expected experiment weights."""
+        if len(rows) != self._expected_count(key):
+            return False
+        for index, row in enumerate(rows):
+            if row[0] != index or row[1] not in _OUTCOME_VALUES:
+                return False
+        return True
+
     # -- bookkeeping ------------------------------------------------------------
 
     def _journal_leases(self) -> None:
@@ -444,8 +826,11 @@ class DistCoordinator:
                 attempts=shard.attempts, status=shard.status, worker=worker)
 
     def _maybe_finish(self) -> None:
-        if not self._done.is_set() and self.board.done():
-            self._done.set()
+        if self._done.is_set() or not self.board.done():
+            return
+        if self._check_pending or self._inflight_keys:
+            return  # the watchdog's patience timer resolves these
+        self._done.set()
 
     def _assemble(self, partition, live):
         """Merge the journal into a serial-identical CampaignResult."""
@@ -463,6 +848,12 @@ class DistCoordinator:
                 continue
             rows = merged[key]
             class_outcomes[key] = tuple(outcome for _, outcome, _, _ in rows)
+            if self._composer is not None \
+                    and key not in self._initial_completed:
+                # Deferred section-store write: only classes that
+                # survived CRC checks, cross-check verification and
+                # byzantine rollback reach the cross-campaign store.
+                self._composer.store_class(interval, rows)
             if self.keep_records:
                 coords = interval.experiments()
                 records.extend(
@@ -474,6 +865,11 @@ class DistCoordinator:
         report.shard_retries = self.board.retries
         report.failed_shards = self.board.failed_shards
         report.workers = tuple(sorted(self._worker_units.items()))
+        report.poison_splits = self.board.splits
+        report.poison_keys = tuple(self.board.poison_keys())
+        report.quarantined_workers = tuple(
+            state["name"] for state in self.supervisor.snapshot()
+            if state["offenses"])
         if report.complete:
             self.handle.mark_complete()
         else:
@@ -500,7 +896,9 @@ def run_distributed_scan(golden: GoldenRun, *, workers: int = 2,
                          keep_records: bool = False,
                          progress: ProgressCallback | None = None,
                          host: str = "127.0.0.1",
-                         worker_env: dict | None = None):
+                         worker_env: dict | None = None,
+                         chaos=None, crosscheck: float = 0.0,
+                         supervision: SupervisionPolicy | None = None):
     """Run a distributed full scan with locally spawned workers.
 
     Convenience wrapper for single-machine use (and the CLI's
@@ -508,16 +906,24 @@ def run_distributed_scan(golden: GoldenRun, *, workers: int = 2,
     subprocesses running ``python -m repro worker``, and serves the
     coordinator in the calling thread.  Real multi-host campaigns start
     ``repro coordinator`` and ``repro worker`` by hand instead.
+
+    ``chaos`` (a :class:`~.chaos.ChaosPlan`, plan dict or legacy
+    counter dict) is serialized into every worker's environment, so the
+    whole fleet runs one seeded schedule; its coordinator-side fields
+    apply here.  ``crosscheck`` and ``supervision`` pass through to
+    :class:`DistCoordinator`.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    plan = plan_from_spec(chaos)
     sock = _free_server_socket(host)
     port = sock.getsockname()[1]
     coordinator = DistCoordinator(
         golden, domain=domain, executor_config=executor_config,
         policy=policy, shards=shards, expected_workers=workers,
         journal=journal, resume=resume,
-        keep_records=keep_records, progress=progress, sock=sock)
+        keep_records=keep_records, progress=progress, sock=sock,
+        chaos=plan, crosscheck=crosscheck, supervision=supervision)
     import repro
 
     env = dict(os.environ)
@@ -525,6 +931,8 @@ def run_distributed_scan(golden: GoldenRun, *, workers: int = 2,
         os.path.abspath(repro.__file__)))
     env["PYTHONPATH"] = os.pathsep.join(
         [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    if plan is not None and plan.active:
+        env[PLAN_ENV] = plan.to_json()
     if worker_env:
         env.update(worker_env)
     procs = [

@@ -23,10 +23,20 @@ type                direction  meaning
 ``lease``           c → w      a shard lease: id, class keys, deadline
 ``wait``            c → w      no assignable work right now; retry in N s
 ``done``            c → w      campaign finished; disconnect
-``result``          w → c      one class's experiment rows (streamed)
+``result``          w → c      one class's experiment rows (streamed),
+                               carrying a :func:`result_digest` CRC the
+                               coordinator re-derives before merging
 ``lease_done``      w → c      every key of the lease was submitted
 ``heartbeat``       w → c      liveness signal (sent from a timer thread)
 ==================  =========  ==============================================
+
+Version 2 added end-to-end result integrity: every ``result`` frame
+carries ``crc`` (:func:`result_digest` over its key and rows), and
+``lease`` frames may carry ``verify: true`` with a negative lease id —
+a cross-check lease asking the worker to re-execute classes another
+worker already delivered so the coordinator can byte-compare the two
+(workers execute verify leases identically; only the coordinator treats
+the results differently).
 
 Two transport bindings share the codec: :class:`FrameStream` wraps a
 blocking ``socket`` for the worker (with a non-blocking :meth:`poll` so
@@ -40,10 +50,12 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import zlib
 
 #: Bumped on incompatible protocol changes; both sides send it in the
-#: handshake and refuse mismatching peers.
-PROTOCOL_VERSION = 1
+#: handshake and refuse mismatching peers.  Version 2: result CRCs and
+#: cross-check verify leases.
+PROTOCOL_VERSION = 2
 
 #: Refuse absurd frame lengths outright — a peer speaking a different
 #: protocol (or garbage) would otherwise make us allocate gigabytes.
@@ -54,6 +66,28 @@ _HEADER = struct.Struct(">I")
 
 class ProtocolError(RuntimeError):
     """The peer violated the framing or message contract."""
+
+
+def result_digest(key, rows) -> int:
+    """CRC-32 of a result frame's semantic content.
+
+    Computed over the canonical JSON of ``[key, rows]`` — the class
+    identity plus every ``(bit, outcome, end_cycle, trap)`` row — so it
+    is invariant to framing, field order elsewhere in the message, and
+    list-vs-tuple representation.  The worker stamps it on each
+    ``result`` frame; the coordinator re-derives it from the decoded
+    payload before merging, which catches corruption anywhere between
+    the worker's executor and the coordinator's journal (including a
+    serialization bug on either side).  It is also the byte-comparison
+    unit of cross-check sampling: two honest executions of the same
+    class necessarily produce equal digests.
+    """
+    payload = json.dumps(
+        [[int(v) for v in key],
+         [[int(row[0]), str(row[1]), int(row[2]), str(row[3])]
+          for row in rows]],
+        separators=(",", ":"))
+    return zlib.crc32(payload.encode("utf-8"))
 
 
 def encode_frame(message: dict) -> bytes:

@@ -21,19 +21,23 @@ reconnects with jittered exponential backoff and simply asks for work
 again — the coordinator's lease board and idempotent journal make the
 retried deliveries harmless.
 
-Chaos hooks (tests only) are enabled by the ``REPRO_DIST_CHAOS``
-environment variable or the ``chaos=`` argument::
+Every result frame carries a :func:`~.protocol.result_digest` CRC over
+its key and rows, computed *before* the frame is handed to the
+transport, so the coordinator can detect any corruption between this
+worker's executor and its own journal.
 
-    {"die_after_results": 3,    # os._exit(13) before sending the 4th
-     "drop_after_results": 3,   # close the socket after sending 3
-     "duplicate_results": 2}    # send the first 2 results twice
-
-Counters are cumulative across reconnects, so each hook fires once.
+Chaos injection is delegated to :mod:`repro.campaign.dist.chaos`: a
+:class:`~.chaos.ChaosPlan` (the ``chaos=`` argument, the
+``REPRO_CHAOS_PLAN`` env var, or the deprecated ``REPRO_DIST_CHAOS``
+counter dict) wraps each session's stream in a
+:class:`~.chaos.ChaosFrameStream` proxy.  Chaos state is cumulative
+across reconnects — the schedule is a pure function of
+``(seed, worker name, result index)``, unaffected by the failures it
+injects.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import socket
@@ -45,7 +49,9 @@ from ...isa.assembler import assemble
 from ..database import program_fingerprint
 from ..experiment import ExecutorConfig
 from ..golden import record_golden
-from .protocol import PROTOCOL_VERSION, FrameStream, ProtocolError
+from .chaos import WorkerChaos, plan_from_env, plan_from_spec
+from .protocol import (PROTOCOL_VERSION, FrameStream, ProtocolError,
+                       result_digest)
 
 
 class WorkerRejected(RuntimeError):
@@ -72,7 +78,7 @@ class DistWorker:
                  max_reconnects: int | None = None,
                  connect_timeout: float = 5.0,
                  heartbeat_interval: float = 2.0,
-                 chaos: dict | None = None):
+                 chaos=None):
         self.host = host
         self.port = port
         self.name = name or f"{socket.gethostname()}-{os.getpid()}"
@@ -81,13 +87,12 @@ class DistWorker:
         self.max_reconnects = max_reconnects
         self.connect_timeout = connect_timeout
         self.heartbeat_interval = heartbeat_interval
-        if chaos is None:
-            spec = os.environ.get("REPRO_DIST_CHAOS")
-            chaos = json.loads(spec) if spec else {}
-        self._chaos = chaos
+        plan = plan_from_spec(chaos) if chaos is not None \
+            else plan_from_env()
+        self._chaos = WorkerChaos(plan, self.name) \
+            if plan is not None and plan.active else None
         self._rng = random.Random(self.name)
         self._finished = False
-        self._results_sent = 0
         #: Classes executed locally (not counting duplicates).
         self.executed = 0
         #: Verified campaign state, cached by fingerprint so reconnects
@@ -137,6 +142,8 @@ class DistWorker:
         # them stalls the per-class submit loop for nothing.
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         stream = FrameStream(sock)
+        if self._chaos is not None:
+            stream = self._chaos.wrap(stream)
         stop_heartbeat = threading.Event()
         try:
             self._send(stream, {"type": "hello",
@@ -228,6 +235,10 @@ class DistWorker:
                 pass
             raise
         config = ExecutorConfig(**spec["config"])
+        if config.heartbeat_interval is not None:
+            # The coordinator ships the fleet's heartbeat cadence with
+            # the campaign, so one knob tunes every worker.
+            self.heartbeat_interval = config.heartbeat_interval
         domain = get_domain(config.domain)
         executor = config.build(golden)
         partition = domain.build_partition(golden)
@@ -278,37 +289,26 @@ class DistWorker:
             if polled is not None and polled.get("type") == "done":
                 self._finished = True
                 return True
+            if self._chaos is not None:
+                self._chaos.before_class(key)
             hits0 = executor.convergence_hits
             skips0 = executor.slice_hits
             tails0 = executor.scalar_tail_experiments
             records = executor.run_many(interval.experiments())
             self.executed += 1
+            rows = [[bit, record.outcome.value, record.end_cycle,
+                     record.trap]
+                    for bit, record in enumerate(records)]
             message = {
                 "type": "result", "lease": lease_id, "shard": shard,
                 "key": list(key),
-                "rows": [[bit, record.outcome.value, record.end_cycle,
-                          record.trap]
-                         for bit, record in enumerate(records)],
+                "rows": rows,
+                "crc": result_digest(key, rows),
                 "hits": executor.convergence_hits - hits0,
                 "skips": executor.slice_hits - skips0,
                 "tails": executor.scalar_tail_experiments - tails0,
             }
-            self._chaos_tick()
             self._send(stream, message)
-            self._results_sent += 1
-            if self._results_sent <= self._chaos.get(
-                    "duplicate_results", 0):
-                self._send(stream, message)
-            drop_after = self._chaos.get("drop_after_results")
-            if drop_after is not None \
-                    and self._results_sent == drop_after:
-                stream.close()
-                raise ConnectionError("chaos: dropped connection")
         self._send(stream, {"type": "lease_done", "lease": lease_id,
                             "shard": shard})
         return False
-
-    def _chaos_tick(self) -> None:
-        die_after = self._chaos.get("die_after_results")
-        if die_after is not None and self._results_sent == die_after:
-            os._exit(13)

@@ -117,6 +117,16 @@ class ExecutorConfig:
     #: (:mod:`repro.engine.plan`) when :meth:`build` sees the golden
     #: run; naming a concrete engine pins it.
     engine: str = "auto"
+    #: Distributed-fabric heartbeat cadence (seconds) shipped to every
+    #: worker with the campaign spec; ``None`` keeps each worker's own
+    #: default.  Pure transport tuning — outcome-invariant, so it is
+    #: *not* part of the journal campaign key.
+    heartbeat_interval: float | None = None
+    #: Override for the lease/shard wall-clock budget (seconds) the
+    #: coordinator's retry policy derives from cycle cost; ``None``
+    #: keeps the cost-derived deadline.  Transport tuning only — also
+    #: excluded from the journal campaign key.
+    lease_timeout: float | None = None
 
     def timeout_cycles(self, golden_cycles: int) -> int:
         """Cycle budget before a run is classified as a timeout.

@@ -43,6 +43,7 @@ produces a result *bit-for-bit identical* to an uninterrupted one.
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,10 +53,12 @@ from .outcomes import Outcome
 
 #: Current schema version.  Version 2 added the cross-campaign section
 #: store (``sections``/``section_results``/``campaign_sections``) and
-#: the ``summaries`` table; both are purely additive, so version-1
-#: journals migrate in place on open.  Journals written by a *newer*
-#: build than this one are rejected instead of silently misread.
-SCHEMA_VERSION = 2
+#: the ``summaries`` table; version 3 added the ``fabric_events`` log
+#: (supervision / integrity incidents of the distributed fabric).  All
+#: changes are purely additive, so older journals migrate in place on
+#: open.  Journals written by a *newer* build than this one are
+#: rejected instead of silently misread.
+SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -135,11 +138,52 @@ CREATE TABLE IF NOT EXISTS summaries (
     summary     TEXT NOT NULL,
     PRIMARY KEY (fingerprint, domain)
 );
+CREATE TABLE IF NOT EXISTS fabric_events (
+    id          INTEGER PRIMARY KEY,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    at          REAL NOT NULL,
+    worker      TEXT NOT NULL DEFAULT '',
+    kind        TEXT NOT NULL,
+    detail      TEXT NOT NULL DEFAULT ''
+);
 """
+
+#: ``(table, columns)`` pairs :func:`salvage_journal` tries to recover,
+#: in dependency order.  Kept in sync with ``_SCHEMA`` by
+#: ``tests/campaign/test_salvage.py``.
+SALVAGE_TABLES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("meta", ("key", "value")),
+    ("campaigns", ("id", "fingerprint", "domain", "kind", "params",
+                   "cycles", "status")),
+    ("class_results", ("campaign_id", "axis", "first_slot", "bit",
+                       "outcome", "end_cycle", "trap")),
+    ("coordinate_results", ("campaign_id", "slot", "axis", "bit",
+                            "outcome")),
+    ("sampler_state", ("campaign_id", "draws", "rng_state")),
+    ("leases", ("campaign_id", "shard", "keys", "worker", "attempts",
+                "status")),
+    ("sections", ("id", "fingerprint", "program", "domain", "first_slot",
+                  "last_slot", "detail")),
+    ("section_results", ("section_id", "slot", "axis", "bit", "outcome",
+                         "end_cycle", "trap")),
+    ("campaign_sections", ("campaign_id", "section_id")),
+    ("summaries", ("fingerprint", "domain", "name", "summary")),
+    ("fabric_events", ("id", "campaign_id", "at", "worker", "kind",
+                       "detail")),
+)
 
 
 class JournalError(RuntimeError):
     """The journal file is unusable (wrong schema version, corrupt)."""
+
+
+class JournalCorruptError(JournalError):
+    """The journal file is physically corrupt (failed ``quick_check``).
+
+    Distinct from a version mismatch: corruption is what
+    :func:`salvage_journal` can partially recover from, a too-new
+    schema is not.
+    """
 
 
 class JournalMismatchError(JournalError):
@@ -215,6 +259,33 @@ class ExecutionReport:
     #: coordinator (every unit names the worker whose submission was
     #: accounted); empty for single-host campaigns.
     workers: tuple = field(default_factory=tuple)
+    #: Result frames rejected before merging: CRC mismatch (payload
+    #: corrupted between the worker's executor and the coordinator) or
+    #: row-shape/digest disagreement with the domain's expected
+    #: experiment weight for the class.  Rejected frames are simply
+    #: re-executed — corruption can delay a campaign, never skew it.
+    integrity_rejected: int = 0
+    #: Classes re-executed on a second worker and byte-compared
+    #: (cross-check sampling).
+    crosschecked: int = 0
+    #: Cross-check comparisons that disagreed (at least one of the two
+    #: workers returned wrong bytes).
+    crosscheck_mismatches: int = 0
+    #: Cross-checks abandoned unverified because no second worker was
+    #: ever available to re-execute them.
+    crosscheck_unverified: int = 0
+    #: Journaled results discarded and re-queued after their worker was
+    #: caught corrupting results (its unverified history is not
+    #: trustworthy, so it is re-executed by honest workers).
+    discarded_results: int = 0
+    #: Bisection rounds performed while isolating poisonous shards.
+    poison_splits: int = 0
+    #: Class keys isolated as poisonous — their execution kills
+    #: workers — and excluded from the result (also in :attr:`missing`).
+    poison_keys: tuple = field(default_factory=tuple)
+    #: Workers quarantined by the supervisor during this run, as sorted
+    #: names (circuit-breaker trips and byzantine convictions alike).
+    quarantined_workers: tuple = field(default_factory=tuple)
 
     @property
     def complete(self) -> bool:
@@ -239,28 +310,24 @@ class ExperimentJournal:
     ``":memory:"`` works for tests.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *, salvage: bool = False):
         self.path = str(path)
+        #: Set when opening salvaged a corrupt file (``salvage=True``).
+        self.salvage_report: SalvageReport | None = None
         try:
-            self._conn = sqlite3.connect(self.path)
-            self._conn.execute("PRAGMA busy_timeout = 5000")
-            # WAL keeps readers (a second `repro resume --journal` listing
-            # progress, a monitoring script) from blocking the campaign's
-            # writes, and makes each commit an append instead of a
-            # rewrite.  In-memory journals report "memory" here; that is
-            # fine — only real files need the concurrency.
-            self._conn.execute("PRAGMA journal_mode = WAL")
-            check = self._conn.execute("PRAGMA quick_check").fetchone()
-            if check is not None and check[0] != "ok":
-                raise JournalError(
-                    f"journal {self.path!r} failed SQLite quick_check: "
-                    f"{check[0]} — the file is corrupt; move it aside "
-                    f"and restart the campaign")
-            self._conn.executescript(_SCHEMA)
-        except sqlite3.DatabaseError as exc:
-            raise JournalError(
-                f"journal {self.path!r} is not a usable SQLite "
-                f"database: {exc}") from exc
+            self._conn = self._connect()
+        except JournalCorruptError:
+            if (not salvage or self.path == ":memory:"
+                    or not os.path.exists(self.path)):
+                raise
+            # Torn-write recovery: move the corrupt file aside, rebuild
+            # a fresh journal at the same path from every row that is
+            # still readable, then open that.  Partially recovered
+            # classes are the caller's problem — the campaign layers
+            # validate row counts against the domain's expected
+            # experiment weights before trusting resumed classes.
+            self.salvage_report = salvage_journal(self.path)
+            self._conn = self._connect()
         row = self._conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'") \
             .fetchone()
@@ -289,6 +356,34 @@ class ExperimentJournal:
                 "UPDATE meta SET value = ? WHERE key = 'schema_version'",
                 (str(SCHEMA_VERSION),))
             self._conn.commit()
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open, integrity-check and schema-initialize the database."""
+        try:
+            conn = sqlite3.connect(self.path)
+            conn.execute("PRAGMA busy_timeout = 5000")
+            # WAL keeps readers (a second `repro resume --journal` listing
+            # progress, a monitoring script) from blocking the campaign's
+            # writes, and makes each commit an append instead of a
+            # rewrite.  In-memory journals report "memory" here; that is
+            # fine — only real files need the concurrency.
+            conn.execute("PRAGMA journal_mode = WAL")
+            check = conn.execute("PRAGMA quick_check").fetchone()
+            if check is not None and check[0] != "ok":
+                conn.close()
+                raise JournalCorruptError(
+                    f"journal {self.path!r} failed SQLite quick_check: "
+                    f"{check[0]} — the file is corrupt; open with "
+                    f"salvage=True (or `repro journal --salvage`) to "
+                    f"recover the readable rows")
+            conn.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise JournalCorruptError(
+                f"journal {self.path!r} is not a usable SQLite "
+                f"database: {exc} — open with salvage=True (or `repro "
+                f"journal --salvage`) to recover the readable rows") \
+                from exc
+        return conn
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -331,6 +426,33 @@ class ExperimentJournal:
             (fingerprint, domain, kind, encoded, cycles))
         self._conn.commit()
         return CampaignJournal(self, cursor.lastrowid)
+
+    def fabric_report(self) -> list[dict]:
+        """Per-campaign distributed-fabric state for ``repro fabric``.
+
+        Extends :meth:`campaigns` with each campaign's journaled shard
+        leases and supervision/integrity events — the operator's view
+        of what the coordinator did and to whom.
+        """
+        out = []
+        for entry in self.campaigns():
+            campaign_id = entry["id"]
+            entry["leases"] = [
+                {"shard": shard, "worker": worker,
+                 "attempts": attempts, "status": status}
+                for shard, worker, attempts, status in self._conn.execute(
+                    "SELECT shard, worker, attempts, status FROM leases "
+                    "WHERE campaign_id = ? ORDER BY shard",
+                    (campaign_id,))]
+            entry["events"] = [
+                {"at": at, "worker": worker, "kind": kind,
+                 "detail": detail}
+                for at, worker, kind, detail in self._conn.execute(
+                    "SELECT at, worker, kind, detail FROM fabric_events "
+                    "WHERE campaign_id = ? ORDER BY id",
+                    (campaign_id,))]
+            out.append(entry)
+        return out
 
     def campaigns(self) -> list[dict]:
         """All journaled campaigns with their progress counts."""
@@ -462,7 +584,8 @@ class ExperimentJournal:
         """Row counts per table plus the database file size in bytes."""
         tables = ("campaigns", "class_results", "coordinate_results",
                   "sampler_state", "leases", "sections",
-                  "section_results", "campaign_sections", "summaries")
+                  "section_results", "campaign_sections", "summaries",
+                  "fabric_events")
         report = {
             table: self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}").fetchone()[0]
@@ -500,6 +623,22 @@ class CampaignJournal:
         self.journal = journal
         self.campaign_id = campaign_id
         self._conn = journal._conn
+        #: Set by :func:`open_campaign` when it constructed the journal
+        #: from a path: the handle then owns the connection and
+        #: :meth:`close` must be called so the WAL checkpoints into the
+        #: main file when the campaign finishes (a never-closed
+        #: connection leaves every result in the ``-wal`` sidecar).
+        self.owned_journal: ExperimentJournal | None = None
+
+    def close(self) -> None:
+        """Release the journal connection if this handle owns it.
+
+        A no-op for handles over caller-provided journals; safe to call
+        more than once.
+        """
+        if self.owned_journal is not None:
+            self.owned_journal.close()
+            self.owned_journal = None
 
     # -- status ---------------------------------------------------------------
 
@@ -526,7 +665,8 @@ class CampaignJournal:
         """
         with self._conn:
             for table in ("class_results", "coordinate_results",
-                          "sampler_state", "leases", "campaign_sections"):
+                          "sampler_state", "leases", "campaign_sections",
+                          "fabric_events"):
                 self._conn.execute(
                     f"DELETE FROM {table} WHERE campaign_id = ?",
                     (self.campaign_id,))
@@ -617,6 +757,59 @@ class CampaignJournal:
             return False
         self.record_class(axis, first_slot, rows)
         return True
+
+    def discard_classes(self,
+                        keys: Iterable[tuple[int, int]]) -> int:
+        """Delete journaled classes so they can be re-executed.
+
+        The byzantine-recovery path: when cross-check verification
+        catches a worker returning wrong bytes, every class it
+        delivered that was never independently verified is discarded
+        here and re-queued — first-wins merging means a poisoned first
+        copy can only be displaced by deleting it.  Also used to drop
+        partially salvaged classes whose row count disagrees with the
+        domain's expected experiment weight.  Returns rows deleted.
+        """
+        keys = list(keys)
+        if not keys:
+            return 0
+        with self._conn:
+            before = self._conn.total_changes
+            self._conn.executemany(
+                "DELETE FROM class_results WHERE campaign_id = ? AND "
+                "axis = ? AND first_slot = ?",
+                [(self.campaign_id, axis, first_slot)
+                 for axis, first_slot in keys])
+            return self._conn.total_changes - before
+
+    # -- fabric event log -----------------------------------------------------
+
+    def record_event(self, kind: str, *, worker: str = "",
+                     detail: str = "", at: float = 0.0) -> None:
+        """Append one supervision/integrity incident to the fabric log.
+
+        Kinds in use: ``quarantine``, ``probation``, ``crc-reject``,
+        ``shape-reject``, ``crosscheck-mismatch``, ``crosscheck-stale``,
+        ``byzantine``, ``discard``, ``poison-split``, ``poison-key``,
+        ``salvage-prune``.  The log is diagnostic — campaign results
+        never depend on it — but it is what ``repro fabric`` renders
+        and what the chaos-soak telemetry uploads.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO fabric_events (campaign_id, at, worker, "
+                "kind, detail) VALUES (?, ?, ?, ?, ?)",
+                (self.campaign_id, at, worker, kind, detail))
+
+    def events(self) -> list[dict]:
+        """Journaled fabric events of this campaign, oldest first."""
+        return [
+            {"at": at, "worker": worker, "kind": kind, "detail": detail}
+            for at, worker, kind, detail in self._conn.execute(
+                "SELECT at, worker, kind, detail FROM fabric_events "
+                "WHERE campaign_id = ? ORDER BY id",
+                (self.campaign_id,))
+        ]
 
     # -- work leases ----------------------------------------------------------
 
@@ -735,6 +928,114 @@ class CampaignJournal:
                 f"changed — use resume=False to restart")
 
 
+@dataclass(frozen=True)
+class SalvageReport:
+    """What :func:`salvage_journal` pulled out of a corrupt file."""
+
+    #: Where the corrupt original was moved (``<path>.corrupt``).
+    source: str
+    #: Rows recovered per table.
+    recovered: dict = field(default_factory=dict)
+    #: Tables whose read hit corruption (recovery stopped mid-table,
+    #: so their counts are lower bounds on what the file once held).
+    truncated: tuple = ()
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.recovered.values())
+
+
+def salvage_journal(path: str | Path) -> SalvageReport:
+    """Rebuild a corrupt journal in place from its readable rows.
+
+    Torn-write recovery: a journal that fails ``quick_check`` (a crash
+    mid-checkpoint, a truncated copy, disk corruption) is moved aside
+    to ``<path>.corrupt`` and a fresh journal is rebuilt at ``path``
+    by reading each known table row-by-row until the first unreadable
+    page.  SQLite's transactionality means every recovered row was
+    durably committed; what is *lost* is any row on a damaged page —
+    which can truncate a class mid-way, so resuming layers must
+    validate class row counts (:func:`invalid_classes`) instead of
+    trusting recovered classes blindly.
+    """
+    path = str(path)
+    corrupt = path + ".corrupt"
+    os.replace(path, corrupt)
+    for suffix in ("-wal", "-shm"):
+        try:
+            os.replace(path + suffix, corrupt + suffix)
+        except OSError:
+            pass
+    recovered: dict[str, int] = {}
+    truncated: list[str] = []
+    fresh = ExperimentJournal(path)
+    try:
+        source = sqlite3.connect(corrupt)
+        try:
+            for table, columns in SALVAGE_TABLES:
+                if table == "meta":
+                    continue  # the fresh journal's version stamp wins
+                rows, clean = _read_rows(source, table, columns)
+                if not clean:
+                    truncated.append(table)
+                if rows:
+                    cols = ", ".join(columns)
+                    marks = ", ".join("?" * len(columns))
+                    with fresh._conn:
+                        fresh._conn.executemany(
+                            f"INSERT OR IGNORE INTO {table} ({cols}) "
+                            f"VALUES ({marks})", rows)
+                recovered[table] = len(rows)
+        finally:
+            source.close()
+    finally:
+        fresh.close()
+    return SalvageReport(source=corrupt, recovered=recovered,
+                         truncated=tuple(truncated))
+
+
+def _read_rows(conn: sqlite3.Connection, table: str,
+               columns: tuple[str, ...]) -> tuple[list, bool]:
+    """Read as many rows as the damaged file yields; False if it broke."""
+    rows: list = []
+    try:
+        cursor = conn.execute(
+            f"SELECT {', '.join(columns)} FROM {table}")
+    except sqlite3.DatabaseError:
+        return rows, False
+    while True:
+        try:
+            row = cursor.fetchone()
+        except sqlite3.DatabaseError:
+            return rows, False
+        if row is None:
+            return rows, True
+        rows.append(row)
+
+
+def invalid_classes(completed: Mapping, expected: Mapping) -> list:
+    """Keys whose journaled rows disagree with the expected bit count.
+
+    ``completed`` maps class keys to per-bit row lists
+    (:meth:`CampaignJournal.completed_classes` form); ``expected`` maps
+    keys to the domain's experiment count for that class.  A healthy
+    journal never contains a partial class (classes commit atomically),
+    but a *salvaged* one can — page loss truncates committed
+    transactions — and the distributed merge path must also never
+    trust a worker's row count.  Any key listed here must be discarded
+    and re-executed, not merged.
+    """
+    bad = []
+    for key, rows in completed.items():
+        count = expected.get(key)
+        if count is None:
+            continue
+        if len(rows) != count \
+                or [row[0] for row in rows] != list(range(count)):
+            bad.append(key)
+    return bad
+
+
 def open_campaign(journal, golden, domain, kind: str,
                   params: Mapping) -> CampaignJournal | None:
     """Resolve a ``journal=`` argument into a campaign handle.
@@ -749,9 +1050,12 @@ def open_campaign(journal, golden, domain, kind: str,
     # imports this one.
     from .database import program_fingerprint
 
+    owned = None
     if not isinstance(journal, ExperimentJournal):
-        journal = ExperimentJournal(journal)
-    return journal.campaign(
+        journal = owned = ExperimentJournal(journal)
+    handle = journal.campaign(
         fingerprint=program_fingerprint(golden.program),
         domain=domain.name, kind=kind, params=params,
         cycles=golden.cycles)
+    handle.owned_journal = owned
+    return handle

@@ -83,6 +83,7 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import random
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
@@ -133,6 +134,11 @@ class RetryPolicy:
     backoff: float = 0.25
     #: Multiplier applied to the delay after each successive break.
     backoff_factor: float = 2.0
+    #: Random jitter fraction added to each retry delay (a delay of
+    #: ``d`` sleeps ``d * (1 + U[0, backoff_jitter])``), so campaigns
+    #: sharing a machine do not resubmit in lockstep after a common
+    #: cause (OOM sweep, suspend/resume) broke all their pools at once.
+    backoff_jitter: float = 0.25
     #: Fixed per-shard wall-clock deadline in seconds; ``None`` derives
     #: it from the shard's estimated cycle cost.
     shard_timeout: float | None = None
@@ -542,7 +548,9 @@ class ParallelCampaign:
                         retried.append(index)
                 if retried:
                     report.shard_retries += len(retried)
-                    time.sleep(backoff)
+                    time.sleep(backoff
+                               * (1.0 + policy.backoff_jitter
+                                  * random.random()))
                     backoff *= policy.backoff_factor
 
     # -- campaign styles -----------------------------------------------------
@@ -666,8 +674,10 @@ class ParallelCampaign:
             else:
                 missing.append(key)
         report.missing = tuple(missing)
-        if handle is not None and report.complete:
-            handle.mark_complete()
+        if handle is not None:
+            if report.complete:
+                handle.mark_complete()
+            handle.close()
         return CampaignResult(golden=golden, partition=partition,
                               class_outcomes=class_outcomes, records=records,
                               domain=domain, execution=report)
@@ -744,8 +754,10 @@ class ParallelCampaign:
             for axis, bit, outcome in rows:
                 outcomes[domain.coordinate(slot, axis, bit)] = outcome
         report.missing = tuple(missing)
-        if handle is not None and report.complete:
-            handle.mark_complete()
+        if handle is not None:
+            if report.complete:
+                handle.mark_complete()
+            handle.close()
         return BruteForceResult(golden=golden, outcomes=outcomes,
                                 domain=domain, execution=report)
 
@@ -878,8 +890,10 @@ class ParallelCampaign:
                 missing_seen.add(key)
                 missing.append(key)
         report.missing = tuple(missing)
-        if handle is not None and report.complete:
-            handle.mark_complete()
+        if handle is not None:
+            if report.complete:
+                handle.mark_complete()
+            handle.close()
         return SamplingResult(golden=golden, partition=partition,
                               samples=samples, population=population,
                               experiments_conducted=len(cache),

@@ -347,6 +347,7 @@ def run_full_scan(golden: GoldenRun, *,
                                       - tail_base)
     if handle is not None:
         handle.mark_complete()
+        handle.close()
     return CampaignResult(golden=golden, partition=partition,
                           class_outcomes=class_outcomes, records=records,
                           domain=domain, execution=report)
@@ -430,6 +431,7 @@ def run_brute_force(golden: GoldenRun, *,
                                       - tail_base)
     if handle is not None:
         handle.mark_complete()
+        handle.close()
     return BruteForceResult(golden=golden, outcomes=outcomes,
                             domain=domain, execution=report)
 
@@ -622,6 +624,7 @@ def run_sampling(golden: GoldenRun, n_samples: int, *, seed: int = 0,
                                       - tail_base)
     if handle is not None:
         handle.mark_complete()
+        handle.close()
     results = [(drawn[i], outcome_by_index[i]) for i in range(len(drawn))]
     return SamplingResult(golden=golden, partition=partition,
                           samples=results, population=population,

@@ -30,10 +30,17 @@ Commands:
     sections shared with earlier campaigns (a previous sweep, or other
     variants) compose from the section store instead of re-executing,
     and each variant's summary is cached in the journal.
-``journal --journal PATH [--gc]``
+``journal --journal PATH [--gc] [--salvage]``
     List a journal's campaigns and its section store (stored results
     and referencing campaigns per section) plus a size report;
     ``--gc`` drops section results no campaign references.
+    ``--salvage`` rebuilds a corrupt journal from its readable rows
+    first (the original is kept at ``PATH.corrupt``).
+``fabric --journal PATH``
+    Show the distributed fabric's state per campaign: shard leases and
+    their retry budgets, plus the supervision/integrity event log
+    (quarantines, CRC rejections, cross-check disputes, poison-shard
+    bisections).  Exits ``3`` when any campaign is incomplete.
 ``coordinator <program> [--port P] [--shards N] [--journal P]``
     Serve a distributed full scan: workers connect over TCP, pull work
     leases, and stream results back; the coordinator owns the journal
@@ -63,6 +70,7 @@ the missing units), so scripted campaigns can detect degraded results.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -168,6 +176,26 @@ def _scan_policy(args) -> RetryPolicy | None:
     return RetryPolicy(**overrides) if overrides else None
 
 
+def _chaos_plan(args):
+    """A :class:`ChaosPlan` from ``--chaos``/``--chaos-seed``, or None."""
+    spec = getattr(args, "chaos", None)
+    seed = getattr(args, "chaos_seed", None)
+    if spec is None and seed is None:
+        return None
+    from .campaign.dist.chaos import ChaosPlan
+
+    try:
+        data = json.loads(spec) if spec else {}
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--chaos expects a JSON chaos plan: {exc}")
+    if seed is not None:
+        data["seed"] = seed
+    try:
+        return ChaosPlan.from_dict(data)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid --chaos plan: {exc}")
+
+
 def _print_execution(execution) -> None:
     """Print the completeness report when there is anything to say."""
     if execution is None:
@@ -175,7 +203,9 @@ def _print_execution(execution) -> None:
     if (execution.resumed or execution.timed_out_shards
             or execution.shard_retries or execution.convergence_hits
             or execution.slice_hits or execution.scalar_tail_experiments
-            or execution.composed_hits
+            or execution.composed_hits or execution.integrity_rejected
+            or execution.crosschecked or execution.discarded_results
+            or execution.poison_splits or execution.quarantined_workers
             or execution.workers or not execution.complete):
         print(completeness_report(execution))
 
@@ -207,7 +237,9 @@ def cmd_scan(args) -> int:
     policy = _scan_policy(args)
     config = ExecutorConfig(
         use_convergence=not getattr(args, "no_convergence", False),
-        engine=getattr(args, "engine", "auto"))
+        engine=getattr(args, "engine", "auto"),
+        heartbeat_interval=getattr(args, "heartbeat_interval", None),
+        lease_timeout=getattr(args, "lease_timeout", None))
     print(f"{program.name} [{domain.name} domain]: "
           f"Δt={golden.cycles} cycles, w={space.size}")
     if args.samples:
@@ -237,7 +269,13 @@ def cmd_scan(args) -> int:
             golden, workers=args.dist, domain=domain,
             executor_config=config, policy=policy, shards=args.shards,
             journal=args.journal, resume=resume,
+            chaos=_chaos_plan(args),
+            crosscheck=getattr(args, "crosscheck", 0.0),
             progress=_eta_progress("classes"))
+        if scan is None:
+            print("coordinator stopped by its chaos schedule; results "
+                  "so far are journaled", file=sys.stderr)
+            return EXIT_INCOMPLETE
         return _print_scan(scan)
     scan = run_full_scan(golden, jobs=args.jobs, domain=domain,
                          journal=args.journal, resume=resume,
@@ -259,6 +297,12 @@ def cmd_resume(args) -> int:
                   f"[{entry['domain']} domain] {entry['status']:8s} "
                   f"{entry['journaled_experiments']:8d} experiments "
                   f"journaled  fingerprint={entry['fingerprint'][:12]}")
+        incomplete = [entry for entry in campaigns
+                      if entry["status"] != "complete"]
+        if incomplete:
+            print(f"{len(incomplete)} campaign(s) incomplete — rerun "
+                  f"with the same journal to finish")
+            return EXIT_INCOMPLETE
         return 0
     # With a program the command is a journaled scan that must resume.
     args.fresh = False
@@ -327,7 +371,17 @@ def cmd_compare(args) -> int:
 
 def cmd_journal(args) -> int:
     """Inspect and maintain a journal's campaigns and section store."""
-    with ExperimentJournal(args.journal) as journal:
+    with ExperimentJournal(args.journal,
+                           salvage=getattr(args, "salvage",
+                                           False)) as journal:
+        salvaged = journal.salvage_report
+        if salvaged is not None:
+            print(f"salvage: journal failed its integrity check; "
+                  f"rebuilt from {salvaged.total_rows} readable row(s) "
+                  f"(original kept at {salvaged.source})")
+            if salvaged.truncated:
+                print(f"salvage: table(s) truncated by page damage: "
+                      f"{', '.join(salvaged.truncated)}")
         if args.gc:
             freed = journal.gc_sections()
             print(f"gc: dropped {freed} orphaned section(s)")
@@ -356,6 +410,51 @@ def cmd_journal(args) -> int:
     return 0
 
 
+def cmd_fabric(args) -> int:
+    """Show the distributed fabric's journaled state per campaign."""
+    with ExperimentJournal(args.journal) as journal:
+        campaigns = journal.fabric_report()
+    if not campaigns:
+        print(f"journal {args.journal}: no campaigns")
+        return 0
+    print(f"journal {args.journal}: {len(campaigns)} campaign(s)")
+    incomplete = 0
+    for entry in campaigns:
+        print(f"#{entry['id']} {entry['kind']} [{entry['domain']} "
+              f"domain] {entry['status']} — "
+              f"{entry['journaled_experiments']} experiments journaled  "
+              f"fingerprint={entry['fingerprint'][:12]}")
+        if entry["status"] != "complete":
+            incomplete += 1
+        if entry["leases"]:
+            counts = {}
+            for lease in entry["leases"]:
+                counts[lease["status"]] = \
+                    counts.get(lease["status"], 0) + 1
+            summary = ", ".join(f"{n} {status}"
+                                for status, n in sorted(counts.items()))
+            print(f"  leases: {len(entry['leases'])} shard(s) — "
+                  f"{summary}")
+            for lease in entry["leases"]:
+                if lease["status"] not in ("done", "pending") \
+                        or lease["attempts"]:
+                    worker = f" worker={lease['worker']}" \
+                        if lease["worker"] else ""
+                    print(f"    shard {lease['shard']}: "
+                          f"{lease['status']}, "
+                          f"{lease['attempts']} attempt(s){worker}")
+        if entry["events"]:
+            print(f"  events: {len(entry['events'])}")
+            for event in entry["events"]:
+                worker = f" [{event['worker']}]" if event["worker"] else ""
+                print(f"    {event['kind']:20s}{worker} "
+                      f"{event['detail']}")
+    if incomplete:
+        print(f"{incomplete} campaign(s) incomplete")
+        return EXIT_INCOMPLETE
+    return 0
+
+
 def cmd_coordinator(args) -> int:
     import socket
 
@@ -368,7 +467,9 @@ def cmd_coordinator(args) -> int:
     policy = _scan_policy(args)
     config = ExecutorConfig(
         use_convergence=not getattr(args, "no_convergence", False),
-        engine=getattr(args, "engine", "auto"))
+        engine=getattr(args, "engine", "auto"),
+        heartbeat_interval=getattr(args, "heartbeat_interval", None),
+        lease_timeout=getattr(args, "lease_timeout", None))
     # Bind before announcing, so `--port 0` (OS-assigned) prints the
     # port workers can actually connect to.
     sock = socket.create_server((args.host, args.port))
@@ -377,6 +478,8 @@ def cmd_coordinator(args) -> int:
         golden, domain=domain, executor_config=config, policy=policy,
         shards=args.shards, journal=args.journal,
         resume=not getattr(args, "fresh", False), sock=sock,
+        chaos=_chaos_plan(args),
+        crosscheck=getattr(args, "crosscheck", 0.0),
         progress=_eta_progress("classes"))
     print(f"{program.name} [{domain.name} domain]: serving distributed "
           f"scan on {host}:{port} "
@@ -384,6 +487,10 @@ def cmd_coordinator(args) -> int:
           f"  repro worker --connect {host}:{port}",
           file=sys.stderr)
     scan = coordinator.run()
+    if scan is None:
+        print("coordinator stopped by its chaos schedule; results so "
+              "far are journaled", file=sys.stderr)
+        return EXIT_INCOMPLETE
     return _print_scan(scan)
 
 
@@ -504,6 +611,33 @@ def build_parser() -> argparse.ArgumentParser:
                          help="golden checkpoint-digest stride in cycles "
                               "(default: auto-tuned from the runtime; "
                               "0 disables the ladder)")
+        cmd.add_argument("--heartbeat-interval", type=float,
+                         default=None, metavar="SECONDS",
+                         help="distributed workers' heartbeat cadence "
+                              "(shipped with the campaign spec; "
+                              "default: each worker's own 2s)")
+        cmd.add_argument("--lease-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="fixed wall-clock budget per work lease "
+                              "(default: derived from the shard's "
+                              "estimated cycle cost)")
+
+    def add_chaos_args(cmd) -> None:
+        cmd.add_argument("--chaos-seed", type=int, default=None,
+                         metavar="SEED",
+                         help="seed the deterministic fabric chaos "
+                              "schedule (with --chaos; alone it names "
+                              "an all-zero-rate plan)")
+        cmd.add_argument("--chaos", metavar="JSON", default=None,
+                         help="chaos plan as JSON, e.g. "
+                              "'{\"drop_rate\": 0.1, \"kill_rate\": "
+                              "0.02}' — every worker runs this seeded "
+                              "schedule (see campaign.dist.chaos)")
+        cmd.add_argument("--crosscheck", type=float, default=0.0,
+                         metavar="FRACTION",
+                         help="re-execute this fraction of classes on "
+                              "a second worker and byte-compare "
+                              "(byzantine worker detection; default: 0)")
 
     scan = sub.add_parser("scan", help="full fault-space scan")
     scan.add_argument("program")
@@ -518,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--shards", type=int, default=8, metavar="N",
                       help="work-lease granularity for --dist "
                            "(default: 8)")
+    add_chaos_args(scan)
     scan.set_defaults(func=cmd_scan)
 
     resume = sub.add_parser(
@@ -546,7 +681,18 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("--gc", action="store_true",
                          help="drop section results no campaign "
                               "references before reporting")
+    journal.add_argument("--salvage", action="store_true",
+                         help="rebuild a corrupt journal from its "
+                              "readable rows first (original kept at "
+                              "PATH.corrupt)")
     journal.set_defaults(func=cmd_journal)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="show the distributed fabric's leases and event log")
+    fabric.add_argument("--journal", metavar="PATH", required=True,
+                        help="SQLite experiment journal to inspect")
+    fabric.set_defaults(func=cmd_fabric)
 
     coordinator = sub.add_parser(
         "coordinator",
@@ -563,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="TCP port to listen on (default: 7716)")
     coordinator.add_argument("--shards", type=int, default=8, metavar="N",
                              help="work-lease granularity (default: 8)")
+    add_chaos_args(coordinator)
     coordinator.set_defaults(func=cmd_coordinator)
 
     worker = sub.add_parser(

@@ -23,6 +23,7 @@ from repro.campaign import (
     run_full_scan,
     run_sampling,
 )
+from repro.campaign.journal import SCHEMA_VERSION
 from repro.faultspace import build_section_map
 from repro.isa.assembler import assemble
 from repro.programs import micro
@@ -202,7 +203,7 @@ class TestSchemaMigration:
         assert resumed == cold
         assert resumed.execution.executed == 0
         with ExperimentJournal(journal) as handle:
-            assert handle.schema_version() == 2
+            assert handle.schema_version() == SCHEMA_VERSION
 
     def test_newer_schema_is_rejected_with_clear_error(self, tmp_path,
                                                        golden):

@@ -1,0 +1,175 @@
+"""Property-based invariants for the worker supervision state machine.
+
+The supervisor is a pure state machine (no clock, no I/O — ``now`` is
+an argument), which makes it ideal Hypothesis territory: generate an
+arbitrary interleaving of successes, failures, explicit quarantines and
+time jumps, and check the invariants the distributed coordinator's
+correctness rests on:
+
+* a permanent (byzantine) quarantine is absorbing — nothing ever
+  readmits the worker;
+* a timed quarantine graduates to probation exactly at expiry, never
+  before;
+* probation is strict — one failure re-quarantines immediately, the
+  configured number of successes restores health with a clean score;
+* quarantine durations escalate geometrically and are capped;
+* offense counts are monotone, scores never go negative, and every
+  snapshot is JSON-serializable (telemetry must never crash).
+"""
+
+import json
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.campaign.dist.supervision import (
+    HEALTHY,
+    PROBATION,
+    QUARANTINED,
+    SupervisionPolicy,
+    WorkerSupervisor,
+)
+
+STATUSES = {HEALTHY, QUARANTINED, PROBATION}
+
+
+def policies():
+    return st.builds(
+        SupervisionPolicy,
+        failure_threshold=st.floats(1.0, 5.0),
+        failure_halflife=st.floats(0.1, 60.0),
+        quarantine_seconds=st.floats(0.1, 5.0),
+        quarantine_factor=st.floats(1.0, 3.0),
+        max_quarantine_seconds=st.floats(1.0, 20.0),
+        probation_successes=st.integers(1, 3),
+    )
+
+
+#: One step: an event applied to the worker, after a time jump.
+events = st.tuples(
+    st.floats(0.0, 10.0),  # dt before the event
+    st.one_of(
+        st.just(("success",)),
+        st.tuples(st.just("failure"), st.floats(0.5, 3.0)),
+        st.tuples(st.just("quarantine"), st.booleans()),
+        st.just(("check",)),
+    ),
+)
+
+
+@given(policy=policies(), steps=st.lists(events, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_state_machine_invariants(policy, steps):
+    sup = WorkerSupervisor(policy=policy)
+    name = "w"
+    now = 0.0
+    ever_permanent = False
+    last_offenses = 0
+    for dt, event in steps:
+        now += dt
+        if event[0] == "success":
+            sup.record_success(name, now)
+        elif event[0] == "failure":
+            sup.record_failure(name, now, weight=event[1])
+        elif event[0] == "quarantine":
+            sup.quarantine(name, now, permanent=event[1],
+                           reason="forced")
+            ever_permanent = ever_permanent or event[1]
+        else:
+            sup.allowed(name, now)
+
+        state = sup.state(name)
+        # Status domain and score sanity.
+        assert state.status in STATUSES
+        assert state.score >= 0.0
+        # Offense counts are monotone.
+        assert state.offenses >= last_offenses
+        last_offenses = state.offenses
+        # A permanent quarantine is absorbing: no later event — not
+        # even another quarantine call — may readmit the worker.
+        if ever_permanent:
+            assert state.status == QUARANTINED
+            assert state.permanent
+            assert math.isinf(state.quarantined_until)
+            assert not sup.allowed(name, now)
+            assert sup.retry_after(name, now) > 0.0
+        # A timed quarantine never admits before its expiry...
+        if state.status == QUARANTINED and not state.permanent \
+                and now < state.quarantined_until:
+            assert not sup.allowed(name, now)
+            assert sup.retry_after(name, now) > 0.0
+        # ...and every quarantine duration honors the escalation cap.
+        if state.status == QUARANTINED and not state.permanent:
+            assert (state.quarantined_until - now
+                    <= policy.max_quarantine_seconds + 1e-9)
+        # Telemetry must always serialize (inf is mapped to None).
+        snapshot = sup.snapshot()
+        json.dumps(snapshot)
+        assert all(entry["status"] in STATUSES for entry in snapshot)
+    # The quarantined() listing agrees with per-worker status.
+    assert (name in sup.quarantined()) \
+        == (sup.state(name).status == QUARANTINED)
+
+
+@given(policy=policies(), dt=st.floats(0.001, 100.0))
+@settings(max_examples=100, deadline=None)
+def test_quiet_time_only_decays_the_score(policy, dt):
+    sup = WorkerSupervisor(policy=policy)
+    sup.record_failure("w", 0.0, weight=policy.failure_threshold / 2)
+    before = sup.state("w").score
+    sup.record_success("w", dt)
+    after = sup.state("w").score
+    assert 0.0 <= after <= before
+    # Exactly exponential: one half-life halves the score.
+    expected = before * 0.5 ** (dt / policy.failure_halflife)
+    assert math.isclose(after, expected, rel_tol=1e-9)
+
+
+@given(policy=policies())
+@settings(max_examples=100, deadline=None)
+def test_escalation_is_monotone_and_capped(policy):
+    durations = [policy.quarantine_for(n) for n in range(1, 8)]
+    assert all(b >= a - 1e-12 for a, b in zip(durations, durations[1:]))
+    assert all(d <= policy.max_quarantine_seconds for d in durations)
+    assert durations[0] <= max(policy.quarantine_seconds,
+                               policy.max_quarantine_seconds)
+
+
+@given(policy=policies())
+@settings(max_examples=50, deadline=None)
+def test_quarantine_probation_healthy_roundtrip(policy):
+    """The canonical lifecycle: trip → wait out → probation → healthy."""
+    sup = WorkerSupervisor(policy=policy)
+    sup.quarantine("w", 0.0, reason="tripped")
+    state = sup.state("w")
+    assert state.status == QUARANTINED
+    assert not sup.allowed("w", state.quarantined_until - 1e-6)
+    # Expiry graduates to probation (lazily, via allowed()).
+    release = state.quarantined_until + 1e-6
+    assert sup.allowed("w", release)
+    assert state.status == PROBATION
+    assert state.probation_left == policy.probation_successes
+    # The configured number of successes restores health, clean score.
+    for index in range(policy.probation_successes):
+        assert state.status == PROBATION
+        sup.record_success("w", release + index)
+    assert state.status == HEALTHY
+    assert state.score == 0.0
+
+
+@given(policy=policies())
+@settings(max_examples=50, deadline=None)
+def test_probation_failure_requarantines_with_escalation(policy):
+    sup = WorkerSupervisor(policy=policy)
+    sup.quarantine("w", 0.0, reason="first")
+    state = sup.state("w")
+    release = state.quarantined_until + 1e-6
+    assert sup.allowed("w", release)
+    # One failure during probation: no threshold, no grace.
+    tripped = sup.record_failure("w", release, weight=0.001)
+    assert tripped
+    assert state.status == QUARANTINED
+    assert state.offenses == 2
+    expected = policy.quarantine_for(2)
+    assert math.isclose(state.quarantined_until - release, expected,
+                        rel_tol=1e-9)
